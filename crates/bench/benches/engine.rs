@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the simulation substrate: signal cascades, event
+//! queue throughput, printer/parser round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use equeue_core::{simulate, SignalTable};
+use equeue_dialect::{kinds, EqueueBuilder};
+use equeue_ir::{parse_module, print_module, Module, OpBuilder};
+use std::hint::black_box;
+
+fn chain_module(n: usize) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pe = b.create_proc(kinds::MAC);
+    let mut dep = b.control_start();
+    for _ in 0..n {
+        let l = b.launch(dep, pe, &[], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.ext_op("mac", vec![], vec![]);
+            ib.ret(vec![]);
+        }
+        dep = l.done;
+        b = OpBuilder::at_end(&mut m, blk);
+    }
+    b.await_all(vec![dep]);
+    m
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+
+    g.bench_function("event_chain_1000", |b| {
+        let m = chain_module(1000);
+        b.iter(|| simulate(black_box(&m)).unwrap().cycles)
+    });
+
+    g.bench_function("signal_cascade_10000", |b| {
+        b.iter(|| {
+            let mut t = SignalTable::new();
+            let leaves: Vec<_> = (0..10_000).map(|_| t.fresh()).collect();
+            let _and = t.new_and(&leaves);
+            for (i, &l) in leaves.iter().enumerate() {
+                t.resolve(l, i as u64, vec![]);
+            }
+            t.len()
+        })
+    });
+
+    g.bench_function("print_parse_roundtrip", |b| {
+        let m = chain_module(100);
+        let text = print_module(&m);
+        b.iter(|| {
+            let parsed = parse_module(black_box(&text)).unwrap();
+            print_module(&parsed).len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

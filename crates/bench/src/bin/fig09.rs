@@ -1,0 +1,41 @@
+//! Regenerates Fig. 9: EQueue vs SCALE-Sim on a 4×4 WS systolic array —
+//! cycles and average SRAM ofmap write bandwidth, for an ifmap sweep
+//! (fixed 2×2×3 weights) and a filter sweep (fixed 32×32 ifmap).
+
+use equeue_bench::{fig09_ifmap_sweep, fig09_weight_sweep, Fig09Row};
+
+fn print_table(title: &str, rows: &[Fig09Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>7} | {:>10} {:>10} | {:>10}",
+        "sweep", "SCALE-Sim", "EQueue", "err", "SS BW", "EQ BW", "EQ time"
+    );
+    println!("{}", "-".repeat(84));
+    for r in rows {
+        println!(
+            "{:>8} | {:>12} {:>12} {:>6.2}% | {:>10.3} {:>10.3} | {:>8.1?}",
+            r.label,
+            r.scalesim_cycles,
+            r.equeue_cycles,
+            100.0 * r.cycle_error(),
+            r.scalesim_ofmap_bw,
+            r.equeue_ofmap_bw,
+            r.equeue_time,
+        );
+    }
+}
+
+fn main() {
+    println!("Fig. 9 — comparing EQueue simulation with SCALE-Sim (4x4 WS array)");
+    let a = fig09_ifmap_sweep();
+    print_table("Fig. 9a/9b: ifmap sweep, weights fixed 2x2x3", &a);
+    let c = fig09_weight_sweep();
+    print_table("Fig. 9c/9d: filter sweep, ifmap fixed 32x32", &c);
+
+    let worst = a
+        .iter()
+        .chain(&c)
+        .map(Fig09Row::cycle_error)
+        .fold(0.0f64, f64::max);
+    println!("\nworst-case cycle disagreement: {:.2}% (paper reports a match)", worst * 100.0);
+}

@@ -1,0 +1,55 @@
+//! Regenerates Fig. 11: execution time, simulated cycles, and SRAM/register
+//! bandwidth along the four lowering stages (Linalg, Affine, Reassign,
+//! Systolic) for H=W ∈ {4, 8, 16, 32}, Fh=Fw=3, C=3, N=4 on a 4×4 array.
+
+use equeue_bench::fig11_rows;
+
+fn main() {
+    println!("Fig. 11 — metrics along the lowering pipeline (4x4 array, F=3, C=3, N=4)");
+    let sizes = [4usize, 8, 16, 32];
+    let rows = fig11_rows(&sizes);
+    println!(
+        "{:>4} {:>9} {:>3} | {:>11} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+        "H/W", "stage", "df", "exec time", "cycles", "SRAM rd", "SRAM wr", "Reg rd", "Reg wr"
+    );
+    println!("{}", "-".repeat(92));
+    for r in &rows {
+        println!(
+            "{:>4} {:>9} {:>3} | {:>9.1?} {:>10} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+            r.hw,
+            r.stage.as_str(),
+            r.dataflow.as_str(),
+            r.execution_time,
+            r.cycles,
+            r.sram_read_bw,
+            r.sram_write_bw,
+            r.reg_read_bw,
+            r.reg_write_bw,
+        );
+    }
+
+    // The headline shapes the paper calls out.
+    println!("\nshape checks (paper §VI-D):");
+    for &hw in &sizes {
+        let of = |stage| {
+            rows.iter()
+                .find(|r| r.hw == hw && r.stage.as_str() == stage && r.dataflow.as_str() == "WS")
+                .unwrap()
+        };
+        let (l, a, re, s) = (of("Linalg"), of("Affine"), of("Reassign"), of("Systolic"));
+        println!(
+            "  H/W={hw:>2}: cycles {} > {} > {} > {} (falling {}), \
+             SRAM rd BW {:.2} -> {:.2} -> {:.2} (grow then fall {}), reg BW appears at Reassign: {}",
+            l.cycles,
+            a.cycles,
+            re.cycles,
+            s.cycles,
+            l.cycles > a.cycles && a.cycles > re.cycles && re.cycles > s.cycles,
+            l.sram_read_bw,
+            a.sram_read_bw,
+            re.sram_read_bw,
+            a.sram_read_bw > l.sram_read_bw && re.sram_read_bw < a.sram_read_bw,
+            re.reg_read_bw > 0.0 && a.reg_read_bw == 0.0,
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! # equeue-bench — the experiment harness
+//!
+//! One driver per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index). Binaries under `src/bin/` print the same rows/series
+//! the paper reports; Criterion benches under `benches/` measure the
+//! simulator itself. The drivers live here so binaries, benches, and
+//! integration tests share one implementation.
+
+#![warn(missing_docs)]
+
+use equeue_core::{simulate_with, SimLibrary, SimOptions, SimReport};
+use equeue_dialect::ConvDims;
+use equeue_gen::{
+    build_stage_program, generate_fir, generate_systolic, FirCase, FirSpec, Stage, SystolicSpec,
+};
+use equeue_passes::Dataflow;
+use std::time::Duration;
+
+/// Converts the pass-level dataflow enum into the baseline's.
+pub fn to_scalesim(df: Dataflow) -> scalesim::Dataflow {
+    match df {
+        Dataflow::Ws => scalesim::Dataflow::Ws,
+        Dataflow::Is => scalesim::Dataflow::Is,
+        Dataflow::Os => scalesim::Dataflow::Os,
+    }
+}
+
+/// Converts a [`ConvDims`] into the baseline's shape type.
+pub fn to_conv_shape(d: ConvDims) -> scalesim::ConvShape {
+    scalesim::ConvShape { h: d.h, w: d.w, fh: d.fh, fw: d.fw, c: d.c, n: d.n }
+}
+
+/// Simulates a module without tracing (sweep mode).
+pub fn run_quiet(module: &equeue_ir::Module) -> SimReport {
+    let lib = SimLibrary::standard();
+    simulate_with(module, &lib, &SimOptions { trace: false, ..Default::default() })
+        .expect("simulation")
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — EQueue vs SCALE-Sim on a 4×4 WS array
+// ---------------------------------------------------------------------------
+
+/// One comparison point of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct Fig09Row {
+    /// Sweep label (`"8x8"`).
+    pub label: String,
+    /// EQueue simulated cycles.
+    pub equeue_cycles: u64,
+    /// SCALE-Sim cycles.
+    pub scalesim_cycles: u64,
+    /// EQueue average SRAM ofmap write bandwidth (B/cycle).
+    pub equeue_ofmap_bw: f64,
+    /// SCALE-Sim average ofmap write bandwidth (B/cycle).
+    pub scalesim_ofmap_bw: f64,
+    /// EQueue wall-clock simulation time.
+    pub equeue_time: Duration,
+}
+
+impl Fig09Row {
+    /// Relative cycle error |EQ − SS| / SS.
+    pub fn cycle_error(&self) -> f64 {
+        (self.equeue_cycles as f64 - self.scalesim_cycles as f64).abs()
+            / self.scalesim_cycles.max(1) as f64
+    }
+}
+
+fn fig09_point(dims: ConvDims) -> Fig09Row {
+    let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+    let prog = generate_systolic(&spec, dims);
+    let report = run_quiet(&prog.module);
+    let ss = scalesim::scale_sim(
+        scalesim::ArrayShape { rows: 4, cols: 4 },
+        to_conv_shape(dims),
+        scalesim::Dataflow::Ws,
+    );
+    Fig09Row {
+        label: format!("{}x{}", dims.h, dims.w),
+        equeue_cycles: report.cycles,
+        scalesim_cycles: ss.cycles,
+        equeue_ofmap_bw: report
+            .memory_named("OfmapSRAM")
+            .map(|m| m.avg_write_bw)
+            .unwrap_or(0.0),
+        scalesim_ofmap_bw: ss.avg_ofmap_write_bw,
+        equeue_time: report.execution_time,
+    }
+}
+
+/// Fig. 9a/b: ifmap sweep 2²…32² with fixed 2×2×3 weights.
+pub fn fig09_ifmap_sweep() -> Vec<Fig09Row> {
+    [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .map(|hw| fig09_point(ConvDims::square(hw, 2.min(hw), 3, 1)))
+        .collect()
+}
+
+/// Fig. 9c/d: filter sweep 2²…32² with a fixed 32×32 ifmap.
+pub fn fig09_weight_sweep() -> Vec<Fig09Row> {
+    [2usize, 4, 8, 16, 32]
+        .into_iter()
+        .map(|f| {
+            let dims = ConvDims { h: 32, w: 32, fh: f, fw: f, c: 3, n: 1 };
+            let mut row = fig09_point(dims);
+            row.label = format!("{f}x{f}");
+            row
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — metrics along the lowering pipeline
+// ---------------------------------------------------------------------------
+
+/// One (stage, dataflow, size) measurement of Fig. 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Lowering stage.
+    pub stage: Stage,
+    /// Dataflow (stages before Systolic are dataflow-independent; the
+    /// value records which pipeline produced the row).
+    pub dataflow: Dataflow,
+    /// Ifmap height/width.
+    pub hw: usize,
+    /// Wall-clock simulation time.
+    pub execution_time: Duration,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Average SRAM read bandwidth.
+    pub sram_read_bw: f64,
+    /// Average SRAM write bandwidth.
+    pub sram_write_bw: f64,
+    /// Average register read bandwidth.
+    pub reg_read_bw: f64,
+    /// Average register write bandwidth.
+    pub reg_write_bw: f64,
+}
+
+/// Runs the Fig. 11 grid: stages × dataflows for the given sizes, on a
+/// 4×4 array with `Fh=Fw=3, C=3, N=4`.
+pub fn fig11_rows(sizes: &[usize]) -> Vec<Fig11Row> {
+    let mut rows = vec![];
+    for &hw in sizes {
+        let dims = ConvDims::square(hw, 3, 3, 4);
+        for stage in Stage::all() {
+            for df in [Dataflow::Ws, Dataflow::Is, Dataflow::Os] {
+                let prog = build_stage_program(stage, dims, (4, 4), df);
+                let report = run_quiet(&prog.module);
+                rows.push(Fig11Row {
+                    stage,
+                    dataflow: df,
+                    hw,
+                    execution_time: report.execution_time,
+                    cycles: report.cycles,
+                    sram_read_bw: report.read_bw_of_kind("SRAM"),
+                    sram_write_bw: report.write_bw_of_kind("SRAM"),
+                    reg_read_bw: report.read_bw_of_kind("Register"),
+                    reg_write_bw: report.write_bw_of_kind("Register"),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — scalability sweep
+// ---------------------------------------------------------------------------
+
+/// One point of the Fig. 12 scatter plots.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Array rows (`Ah`; `Aw = 64/Ah`).
+    pub ah: usize,
+    /// Problem size (`H = W`).
+    pub hw: usize,
+    /// Filter size (`Fh = Fw`).
+    pub f: usize,
+    /// Channels.
+    pub c: usize,
+    /// Filters.
+    pub n: usize,
+    /// Dataflow.
+    pub dataflow: Dataflow,
+    /// EQueue simulated cycles.
+    pub cycles: u64,
+    /// SCALE-Sim cycles (cross-check).
+    pub scalesim_cycles: u64,
+    /// Wall-clock simulation time.
+    pub execution_time: Duration,
+    /// SRAM peak write bandwidth × portion (Fig. 12b's y-axis).
+    pub peak_write_bw_x_portion: f64,
+    /// The paper's loop-iteration count `⌈D1/Ah⌉·⌈D2/Aw⌉`.
+    pub loop_iterations: usize,
+}
+
+/// Enumerates the sweep. `full` gives the paper's complete grid
+/// (5×5×3×3×6×3 = 4,050 candidate combinations before validity
+/// filtering); otherwise a subsample.
+pub fn fig12_configs(full: bool) -> Vec<(usize, usize, usize, usize, usize, Dataflow)> {
+    let (ahs, hws, fs, cs, ns): (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) =
+        if full {
+            (
+                vec![2, 4, 8, 16, 32],
+                vec![2, 4, 8, 16, 32],
+                vec![1, 2, 4],
+                vec![1, 2, 4],
+                vec![1, 2, 4, 8, 16, 32],
+            )
+        } else {
+            (vec![2, 8, 32], vec![4, 16], vec![1, 4], vec![1, 4], vec![1, 8, 32])
+        };
+    let mut out = vec![];
+    for &ah in &ahs {
+        for &hw in &hws {
+            for &f in &fs {
+                if f > hw {
+                    continue; // filter must fit
+                }
+                for &c in &cs {
+                    for &n in &ns {
+                        for df in [Dataflow::Ws, Dataflow::Is, Dataflow::Os] {
+                            out.push((ah, hw, f, c, n, df));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs one sweep point.
+pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataflow) -> Fig12Row {
+    let aw = 64 / ah;
+    let dims = ConvDims { h: hw, w: hw, fh: f, fw: f, c, n };
+    let spec = SystolicSpec { rows: ah, cols: aw, dataflow: df };
+    let prog = generate_systolic(&spec, dims);
+    let report = run_quiet(&prog.module);
+    let ss = scalesim::scale_sim(
+        scalesim::ArrayShape { rows: ah, cols: aw },
+        to_conv_shape(dims),
+        to_scalesim(df),
+    );
+    // The ofmap drain connection is the second one created.
+    let peak = report
+        .connections
+        .get(1)
+        .map(|cr| cr.write.max_bw * cr.write.max_bw_portion)
+        .unwrap_or(0.0);
+    Fig12Row {
+        ah,
+        hw,
+        f,
+        c,
+        n,
+        dataflow: df,
+        cycles: report.cycles,
+        scalesim_cycles: ss.cycles,
+        execution_time: report.execution_time,
+        peak_write_bw_x_portion: peak,
+        loop_iterations: prog.loop_iterations(),
+    }
+}
+
+/// Runs the whole sweep.
+pub fn fig12_sweep(full: bool) -> Vec<Fig12Row> {
+    fig12_configs(full)
+        .into_iter()
+        .map(|(ah, hw, f, c, n, df)| fig12_point(ah, hw, f, c, n, df))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// §VII — FIR cases
+// ---------------------------------------------------------------------------
+
+/// One FIR case measurement.
+#[derive(Debug, Clone)]
+pub struct FirRow {
+    /// Which case.
+    pub case: FirCase,
+    /// EQueue simulated cycles.
+    pub cycles: u64,
+    /// The paper's EQueue result for the case.
+    pub paper_cycles: u64,
+    /// The Xilinx AIE simulator reference, where published.
+    pub xilinx_cycles: Option<u64>,
+    /// Wall-clock simulation time (paper: 0.07 s for case 4 vs the AIE
+    /// simulator's 8 minutes).
+    pub execution_time: Duration,
+    /// Chrome trace JSON (Figs. 13/14 artifacts).
+    pub trace_json: String,
+}
+
+/// Runs all four FIR cases.
+pub fn fir_rows() -> Vec<FirRow> {
+    use equeue_gen::fir_reference as r;
+    FirCase::all()
+        .into_iter()
+        .map(|case| {
+            let prog = generate_fir(FirSpec::default(), case);
+            let report = equeue_core::simulate(&prog.module).expect("simulation");
+            let (paper, xilinx) = match case {
+                FirCase::SingleCore => (r::PAPER_CASE1, Some(r::XILINX_CASE1)),
+                FirCase::Pipelined16 => (r::PAPER_CASE2, None),
+                FirCase::Bandwidth16 => (r::PAPER_CASE3, None),
+                FirCase::Balanced4 => (r::PAPER_CASE4, Some(r::XILINX_CASE4)),
+            };
+            FirRow {
+                case,
+                cycles: report.cycles,
+                paper_cycles: paper,
+                xilinx_cycles: xilinx,
+                execution_time: report.execution_time,
+                trace_json: report.trace.to_chrome_json(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig09_equeue_tracks_scalesim() {
+        for row in fig09_ifmap_sweep() {
+            assert!(
+                row.cycle_error() < 0.02,
+                "{}: equeue {} vs scalesim {}",
+                row.label,
+                row.equeue_cycles,
+                row.scalesim_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_small_sweep_consistent() {
+        let rows = fig12_sweep(false);
+        assert!(rows.len() > 100, "sweep too small: {}", rows.len());
+        for r in &rows {
+            let err = (r.cycles as f64 - r.scalesim_cycles as f64).abs()
+                / r.scalesim_cycles.max(1) as f64;
+            assert!(
+                err < 0.05,
+                "ah={} hw={} f={} c={} n={} {:?}: {} vs {}",
+                r.ah,
+                r.hw,
+                r.f,
+                r.c,
+                r.n,
+                r.dataflow,
+                r.cycles,
+                r.scalesim_cycles
+            );
+            // Cycles are proportional to loop iterations (Fig. 12c–e).
+            assert!(r.cycles as usize >= r.loop_iterations);
+        }
+    }
+
+    #[test]
+    fn fir_rows_match_paper() {
+        let rows = fir_rows();
+        assert_eq!(rows[0].cycles, rows[0].paper_cycles);
+        assert_eq!(rows[1].cycles, rows[1].paper_cycles);
+        assert_eq!(rows[2].cycles, rows[2].paper_cycles);
+        let last = &rows[3];
+        let err = (last.cycles as f64 - last.paper_cycles as f64).abs()
+            / last.paper_cycles as f64;
+        assert!(err < 0.01);
+    }
+}

@@ -1,0 +1,294 @@
+//! Pure-value interpretation helpers: arithmetic semantics (including
+//! element-wise tensor broadcasting) and functional implementations of the
+//! Linalg named ops.
+//!
+//! The engine (in [`crate::engine`]) owns time; this module owns data. Keeping
+//! data semantics separate lets tests validate functional behaviour (e.g. a
+//! convolution's numbers) without running the clock.
+
+use crate::value::{SimValue, Tensor, TensorData};
+
+/// Applies a binary `arith` op to two runtime values.
+///
+/// Tensors broadcast element-wise: `tensor ⊗ tensor` requires equal element
+/// counts, `tensor ⊗ scalar` (either order) broadcasts the scalar. This is
+/// what lets a systolic PE compute `ofmap = ifmap * weight + ofmap_old`
+/// over register vectors.
+///
+/// # Errors
+///
+/// Returns a message for unsupported op names, operand kinds, mismatched
+/// tensor lengths, or division by zero.
+pub fn apply_binary(name: &str, lhs: &SimValue, rhs: &SimValue) -> Result<SimValue, String> {
+    match (lhs, rhs) {
+        (SimValue::Tensor(a), SimValue::Tensor(b)) => {
+            if a.len() != b.len() {
+                return Err(format!(
+                    "'{name}' tensor length mismatch: {} vs {}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            zip_tensors(name, a, b)
+        }
+        (SimValue::Tensor(a), s) if scalar(s) => map_tensor(name, a, s, false),
+        (s, SimValue::Tensor(b)) if scalar(s) => map_tensor(name, b, s, true),
+        (SimValue::Int(a), SimValue::Int(b)) => int_op(name, *a, *b),
+        (SimValue::Float(a), SimValue::Float(b)) => float_op(name, *a, *b),
+        (SimValue::Int(a), SimValue::Float(b)) => float_op(name, *a as f64, *b),
+        (SimValue::Float(a), SimValue::Int(b)) => float_op(name, *a, *b as f64),
+        _ => Err(format!("'{name}' cannot combine {lhs} and {rhs}")),
+    }
+}
+
+fn scalar(v: &SimValue) -> bool {
+    matches!(v, SimValue::Int(_) | SimValue::Float(_))
+}
+
+fn int_op(name: &str, a: i64, b: i64) -> Result<SimValue, String> {
+    Ok(SimValue::Int(match name {
+        "arith.addi" | "arith.addf" => a.wrapping_add(b),
+        "arith.subi" => a.wrapping_sub(b),
+        "arith.muli" | "arith.mulf" => a.wrapping_mul(b),
+        "arith.divi" => {
+            if b == 0 {
+                return Err("integer division by zero".into());
+            }
+            a / b
+        }
+        "arith.remi" => {
+            if b == 0 {
+                return Err("integer remainder by zero".into());
+            }
+            a % b
+        }
+        _ => return Err(format!("unknown binary op '{name}'")),
+    }))
+}
+
+fn float_op(name: &str, a: f64, b: f64) -> Result<SimValue, String> {
+    Ok(SimValue::Float(match name {
+        "arith.addi" | "arith.addf" => a + b,
+        "arith.subi" => a - b,
+        "arith.muli" | "arith.mulf" => a * b,
+        "arith.divi" => a / b,
+        "arith.remi" => a % b,
+        _ => return Err(format!("unknown binary op '{name}'")),
+    }))
+}
+
+fn zip_tensors(name: &str, a: &Tensor, b: &Tensor) -> Result<SimValue, String> {
+    let data = match (&a.data, &b.data) {
+        (TensorData::Int(x), TensorData::Int(y)) => {
+            let mut out = Vec::with_capacity(x.len());
+            for (xa, yb) in x.iter().zip(y) {
+                match int_op(name, *xa, *yb)? {
+                    SimValue::Int(v) => out.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            TensorData::Int(out)
+        }
+        (TensorData::Float(x), TensorData::Float(y)) => {
+            let mut out = Vec::with_capacity(x.len());
+            for (xa, yb) in x.iter().zip(y) {
+                match float_op(name, *xa, *yb)? {
+                    SimValue::Float(v) => out.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            TensorData::Float(out)
+        }
+        _ => return Err(format!("'{name}' mixes int and float tensors")),
+    };
+    Ok(SimValue::Tensor(Tensor { shape: a.shape.clone(), data }))
+}
+
+fn map_tensor(name: &str, t: &Tensor, s: &SimValue, scalar_first: bool) -> Result<SimValue, String> {
+    let data = match &t.data {
+        TensorData::Int(x) => {
+            let sv = s.as_int().ok_or_else(|| format!("'{name}' mixes int tensor and float"))?;
+            let mut out = Vec::with_capacity(x.len());
+            for &xa in x {
+                let (a, b) = if scalar_first { (sv, xa) } else { (xa, sv) };
+                match int_op(name, a, b)? {
+                    SimValue::Int(v) => out.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            TensorData::Int(out)
+        }
+        TensorData::Float(x) => {
+            let sv = s.as_float().ok_or_else(|| format!("'{name}' bad scalar"))?;
+            let mut out = Vec::with_capacity(x.len());
+            for &xa in x {
+                let (a, b) = if scalar_first { (sv, xa) } else { (xa, sv) };
+                match float_op(name, a, b)? {
+                    SimValue::Float(v) => out.push(v),
+                    _ => unreachable!(),
+                }
+            }
+            TensorData::Float(out)
+        }
+    };
+    Ok(SimValue::Tensor(Tensor { shape: t.shape.clone(), data }))
+}
+
+/// Applies `arith.cmpi` with the given predicate string.
+///
+/// # Errors
+///
+/// Returns a message for unknown predicates or non-integer operands.
+pub fn apply_cmpi(pred: &str, lhs: &SimValue, rhs: &SimValue) -> Result<SimValue, String> {
+    let a = lhs.as_int().ok_or("cmpi needs integer operands")?;
+    let b = rhs.as_int().ok_or("cmpi needs integer operands")?;
+    let r = match pred {
+        "eq" => a == b,
+        "ne" => a != b,
+        "lt" => a < b,
+        "le" => a <= b,
+        "gt" => a > b,
+        "ge" => a >= b,
+        _ => return Err(format!("unknown cmpi predicate '{pred}'")),
+    };
+    Ok(SimValue::Int(r as i64))
+}
+
+/// Functional 2-D convolution over integer tensors (reference semantics for
+/// `linalg.conv2d`).
+///
+/// Layouts: ifmap `[C][H][W]`, weights `[N][C][Fh][Fw]`, ofmap
+/// `[N][Eh][Ew]` — all flattened row-major.
+pub fn conv2d_int(
+    ifmap: &[i64],
+    weights: &[i64],
+    ofmap: &mut [i64],
+    c: usize,
+    h: usize,
+    w: usize,
+    n: usize,
+    fh: usize,
+    fw: usize,
+) {
+    let eh = h - fh + 1;
+    let ew = w - fw + 1;
+    for on in 0..n {
+        for oy in 0..eh {
+            for ox in 0..ew {
+                let mut acc = 0i64;
+                for ic in 0..c {
+                    for ky in 0..fh {
+                        for kx in 0..fw {
+                            let iv = ifmap[ic * h * w + (oy + ky) * w + (ox + kx)];
+                            let wv = weights[on * c * fh * fw + ic * fh * fw + ky * fw + kx];
+                            acc += iv * wv;
+                        }
+                    }
+                }
+                ofmap[on * eh * ew + oy * ew + ox] = acc;
+            }
+        }
+    }
+}
+
+/// Functional integer matmul: `C = A × B` with `A: MxK`, `B: KxN`.
+pub fn matmul_int(a: &[i64], b: &[i64], c: &mut [i64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_scalar_ops() {
+        assert_eq!(apply_binary("arith.addi", &SimValue::Int(2), &SimValue::Int(3)).unwrap(), SimValue::Int(5));
+        assert_eq!(apply_binary("arith.subi", &SimValue::Int(2), &SimValue::Int(3)).unwrap(), SimValue::Int(-1));
+        assert_eq!(apply_binary("arith.muli", &SimValue::Int(4), &SimValue::Int(3)).unwrap(), SimValue::Int(12));
+        assert_eq!(apply_binary("arith.divi", &SimValue::Int(7), &SimValue::Int(2)).unwrap(), SimValue::Int(3));
+        assert_eq!(apply_binary("arith.remi", &SimValue::Int(7), &SimValue::Int(2)).unwrap(), SimValue::Int(1));
+        assert!(apply_binary("arith.divi", &SimValue::Int(1), &SimValue::Int(0)).is_err());
+        assert!(apply_binary("arith.bogus", &SimValue::Int(1), &SimValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn float_and_mixed() {
+        assert_eq!(
+            apply_binary("arith.addf", &SimValue::Float(1.5), &SimValue::Float(2.0)).unwrap(),
+            SimValue::Float(3.5)
+        );
+        assert_eq!(
+            apply_binary("arith.mulf", &SimValue::Int(2), &SimValue::Float(2.5)).unwrap(),
+            SimValue::Float(5.0)
+        );
+    }
+
+    #[test]
+    fn tensor_tensor() {
+        let a = SimValue::Tensor(Tensor::from_int(vec![3], vec![1, 2, 3]));
+        let b = SimValue::Tensor(Tensor::from_int(vec![3], vec![10, 20, 30]));
+        let r = apply_binary("arith.addi", &a, &b).unwrap();
+        assert_eq!(r, SimValue::Tensor(Tensor::from_int(vec![3], vec![11, 22, 33])));
+        let short = SimValue::Tensor(Tensor::from_int(vec![2], vec![0, 0]));
+        assert!(apply_binary("arith.addi", &a, &short).is_err());
+    }
+
+    #[test]
+    fn tensor_scalar_broadcast_order_matters() {
+        let t = SimValue::Tensor(Tensor::from_int(vec![2], vec![10, 20]));
+        let r = apply_binary("arith.subi", &t, &SimValue::Int(1)).unwrap();
+        assert_eq!(r, SimValue::Tensor(Tensor::from_int(vec![2], vec![9, 19])));
+        let r = apply_binary("arith.subi", &SimValue::Int(1), &t).unwrap();
+        assert_eq!(r, SimValue::Tensor(Tensor::from_int(vec![2], vec![-9, -19])));
+    }
+
+    #[test]
+    fn cmpi_predicates() {
+        let two = SimValue::Int(2);
+        let three = SimValue::Int(3);
+        assert_eq!(apply_cmpi("lt", &two, &three).unwrap(), SimValue::Int(1));
+        assert_eq!(apply_cmpi("ge", &two, &three).unwrap(), SimValue::Int(0));
+        assert_eq!(apply_cmpi("eq", &two, &two).unwrap(), SimValue::Int(1));
+        assert!(apply_cmpi("wat", &two, &two).is_err());
+        assert!(apply_cmpi("eq", &SimValue::Unit, &two).is_err());
+    }
+
+    #[test]
+    fn conv2d_reference() {
+        // 1 channel, 3x3 input, single 2x2 all-ones filter: each output is
+        // the sum of a 2x2 window.
+        let ifmap = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let weights = vec![1, 1, 1, 1];
+        let mut ofmap = vec![0; 4];
+        conv2d_int(&ifmap, &weights, &mut ofmap, 1, 3, 3, 1, 2, 2);
+        assert_eq!(ofmap, vec![1 + 2 + 4 + 5, 2 + 3 + 5 + 6, 4 + 5 + 7 + 8, 5 + 6 + 8 + 9]);
+    }
+
+    #[test]
+    fn conv2d_channels_accumulate() {
+        // 2 channels of all-ones 2x2 inputs, 1x1 filter weighting channels
+        // by 3 and 5: every output is 3+5.
+        let ifmap = vec![1; 8];
+        let weights = vec![3, 5];
+        let mut ofmap = vec![0; 4];
+        conv2d_int(&ifmap, &weights, &mut ofmap, 2, 2, 2, 1, 1, 1);
+        assert_eq!(ofmap, vec![8; 4]);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = vec![1, 2, 3, 4]; // 2x2
+        let b = vec![5, 6, 7, 8]; // 2x2
+        let mut c = vec![0; 4];
+        matmul_int(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+}

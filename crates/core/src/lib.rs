@@ -1,0 +1,71 @@
+//! # equeue-core — the generic EQueue simulation engine
+//!
+//! This crate is the second half of the paper's contribution (§IV): a
+//! generic timed discrete-event simulation engine that directly executes
+//! EQueue programs — hardware structure, explicit data movement, and
+//! distributed event-based control — intermixed with higher-level dialects
+//! (`linalg`, `affine`, `arith`) so a program can be simulated at any stage
+//! of its lowering pipeline (Fig. 1).
+//!
+//! * [`simulate`] / [`simulate_with`] — run a module, returning a
+//!   [`SimReport`] with cycles, bandwidth statistics, and a Chrome trace.
+//! * [`SimLibrary`] — the extensible simulator library (§IV-D): external
+//!   op implementations (`"mac4"`, …), processor profiles, and memory
+//!   factories (including the worked [`CacheBehavior`] example).
+//! * [`Machine`] — the elaborated component/buffer/connection model with
+//!   schedule queues for contention.
+//! * [`Trace`] — operation-level tracing in Chrome Trace Event Format
+//!   (§IV-B), visualisable in `chrome://tracing`.
+//!
+//! ## Example
+//!
+//! ```
+//! use equeue_ir::{Module, OpBuilder, Type};
+//! use equeue_dialect::{EqueueBuilder, kinds};
+//! use equeue_core::simulate;
+//!
+//! // One MAC unit executing one `mac` per cycle, four times.
+//! let mut m = Module::new();
+//! let blk = m.top_block();
+//! let mut b = OpBuilder::at_end(&mut m, blk);
+//! let pe = b.create_proc(kinds::MAC);
+//! let start = b.control_start();
+//! let launch = b.launch(start, pe, &[], vec![]);
+//! let mut body = OpBuilder::at_end(b.module_mut(), launch.body);
+//! for _ in 0..4 {
+//!     body.ext_op("mac", vec![], vec![]);
+//! }
+//! body.ret(vec![]);
+//! let done = launch.done;
+//! let mut b = OpBuilder::at_end(&mut m, blk);
+//! b.await_all(vec![done]);
+//!
+//! let report = simulate(&m)?;
+//! assert_eq!(report.cycles, 4);
+//! println!("{}", report.summary());
+//! # Ok::<(), equeue_core::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod interp;
+mod library;
+mod machine;
+mod profile;
+mod signal;
+mod trace;
+mod value;
+
+pub use engine::{simulate, simulate_with, SimError, SimOptions};
+pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
+pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};
+pub use machine::{
+    AccessKind, Buffer, CacheBehavior, Component, ComponentKind, Connection, DramBehavior,
+    Machine, MemCounters, Memory, MemoryBehavior, ProcProfile, Processor, RegisterBehavior,
+    SramBehavior, Transfer,
+};
+pub use profile::{BandwidthStats, BufferDump, ConnReport, MemReport, SimReport};
+pub use signal::SignalTable;
+pub use trace::{Trace, TraceCat, TraceEvent};
+pub use value::{BufId, CompId, ConnId, SignalId, SimValue, Tensor, TensorData};

@@ -1,0 +1,315 @@
+//! The simulator library: extensible operation functions and component
+//! factories (§IV-D).
+//!
+//! The engine consults a [`SimLibrary`] for
+//!
+//! * **external op implementations** — cycle counts for `equeue.op`
+//!   signatures like `"mac4"` (§III-E);
+//! * **processor profiles** — per-kind op timing (`ARMr5`, `MAC`,
+//!   `AIEngine`, …);
+//! * **memory factories** — mapping `create_mem` kind strings to
+//!   [`MemoryBehavior`](crate::machine::MemoryBehavior) instances, so users
+//!   can introduce custom components (e.g. a cache) without touching the
+//!   engine.
+
+use crate::machine::{
+    CacheBehavior, DramBehavior, MemoryBehavior, ProcProfile, RegisterBehavior, SramBehavior,
+};
+use equeue_ir::AttrMap;
+use std::collections::HashMap;
+
+/// Description of a `create_mem` op handed to a memory factory.
+#[derive(Debug, Clone)]
+pub struct MemSpec {
+    /// Kind string.
+    pub kind: String,
+    /// Capacity in elements.
+    pub capacity_elems: usize,
+    /// Bits per element.
+    pub data_bits: u32,
+    /// Banks.
+    pub banks: u32,
+    /// The op's full attribute dictionary, for custom parameters.
+    pub attrs: AttrMap,
+}
+
+/// Factory for memory timing models.
+pub type MemFactory = fn(&MemSpec) -> Box<dyn MemoryBehavior>;
+
+/// An external operation implementation (for `equeue.op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtOp {
+    /// Cycles the op occupies its processor.
+    pub cycles: u64,
+}
+
+/// The extensible simulator library.
+///
+/// # Examples
+///
+/// Registering a custom external op and looking it up:
+///
+/// ```
+/// use equeue_core::SimLibrary;
+/// let mut lib = SimLibrary::standard();
+/// lib.register_ext_op("fft8", 4);
+/// assert_eq!(lib.ext_op("fft8").unwrap().cycles, 4);
+/// assert_eq!(lib.ext_op("mac4").unwrap().cycles, 1); // built in
+/// ```
+pub struct SimLibrary {
+    ext_ops: HashMap<String, ExtOp>,
+    proc_profiles: HashMap<String, ProcProfile>,
+    mem_factories: HashMap<String, MemFactory>,
+    /// Cycles per multiply-accumulate when executing `linalg.conv2d` /
+    /// `linalg.matmul` analytically. The Linalg level is the most abstract
+    /// (and most pessimistic) estimate in the Fig. 1 hierarchy: a naive
+    /// scalar schedule with three operand fetches, a multiply, an add, a
+    /// writeback, and fetch/decode overhead — 8 cycles per MAC. Explicit
+    /// Affine-level simulation comes in below this, matching the paper's
+    /// Fig. 11b trend of runtime falling as lowering proceeds.
+    pub linalg_cycles_per_mac: u64,
+    /// Default concurrent access ports per memory.
+    pub default_mem_ports: usize,
+    energy_pj: HashMap<String, f64>,
+}
+
+impl std::fmt::Debug for SimLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimLibrary")
+            .field("ext_ops", &self.ext_ops.len())
+            .field("proc_profiles", &self.proc_profiles.keys().collect::<Vec<_>>())
+            .field("mem_factories", &self.mem_factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+fn sram_factory(spec: &MemSpec) -> Box<dyn MemoryBehavior> {
+    let cpa = spec.attrs.int("cycles_per_access").unwrap_or(1).max(0) as u64;
+    Box::new(SramBehavior { cycles_per_access: cpa })
+}
+
+fn register_factory(_spec: &MemSpec) -> Box<dyn MemoryBehavior> {
+    Box::new(RegisterBehavior)
+}
+
+fn dram_factory(spec: &MemSpec) -> Box<dyn MemoryBehavior> {
+    let latency = spec.attrs.int("latency").unwrap_or(10).max(0) as u64;
+    let cpa = spec.attrs.int("cycles_per_access").unwrap_or(2).max(0) as u64;
+    Box::new(DramBehavior { latency, cycles_per_access: cpa })
+}
+
+fn cache_factory(spec: &MemSpec) -> Box<dyn MemoryBehavior> {
+    let sets = spec.attrs.int("sets").unwrap_or(16).max(1) as usize;
+    let ways = spec.attrs.int("ways").unwrap_or(4).max(1) as usize;
+    let line = spec.attrs.int("line_elems").unwrap_or(8).max(1) as usize;
+    let hit = spec.attrs.int("hit_cycles").unwrap_or(1).max(0) as u64;
+    let miss = spec.attrs.int("miss_cycles").unwrap_or(10).max(0) as u64;
+    Box::new(CacheBehavior::new(sets, ways, line, hit, miss))
+}
+
+impl SimLibrary {
+    /// The standard library: SRAM/Register/DRAM/Cache memories, the
+    /// processor kinds of [`equeue_dialect::kinds`], and the AI Engine
+    /// intrinsics `mul4`/`mac4` plus a scalar `mac`.
+    pub fn standard() -> Self {
+        let mut lib = SimLibrary {
+            ext_ops: HashMap::new(),
+            proc_profiles: HashMap::new(),
+            mem_factories: HashMap::new(),
+            linalg_cycles_per_mac: 8,
+            default_mem_ports: 2,
+            energy_pj: HashMap::new(),
+        };
+        // First-order per-access energy (picojoules), ordered as the paper
+        // describes: registers cheapest, SRAM costlier, DRAM costliest.
+        for (kind, pj) in
+            [("Register", 0.05), ("SRAM", 1.0), ("Cache", 1.2), ("DRAM", 20.0), ("HostMem", 0.0)]
+        {
+            lib.energy_pj.insert(kind.to_string(), pj);
+        }
+        // External ops (§III-E): mul4/mac4 compute 4 lanes × 2 ops in one
+        // cycle on the AI Engine (§VII-C); a scalar mac is one cycle on a
+        // MAC PE.
+        lib.register_ext_op("mac", 1);
+        lib.register_ext_op("mul4", 1);
+        lib.register_ext_op("mac4", 1);
+
+        // Processor profiles: every modelled processor issues one operation
+        // per cycle; event issue and control bookkeeping are free (they are
+        // queue pushes, not datapath work).
+        for kind in ["ARMr5", "ARMr6", "MAC", "AIEngine", "Generic"] {
+            lib.proc_profiles.insert(kind.to_string(), Self::default_profile());
+        }
+
+        lib.mem_factories.insert("SRAM".into(), sram_factory);
+        lib.mem_factories.insert("Register".into(), register_factory);
+        lib.mem_factories.insert("DRAM".into(), dram_factory);
+        lib.mem_factories.insert("Cache".into(), cache_factory);
+        lib
+    }
+
+    /// The profile shared by the standard processors: one cycle per compute
+    /// op; structure declaration, event spawning, and control ops are free.
+    pub fn default_profile() -> ProcProfile {
+        let mut p = ProcProfile::uniform(1);
+        for free in [
+            "equeue.launch",
+            "equeue.memcpy",
+            "equeue.control_start",
+            "equeue.control_and",
+            "equeue.control_or",
+            "equeue.await",
+            "equeue.return",
+            "equeue.alloc",
+            "equeue.dealloc",
+            "equeue.create_proc",
+            "equeue.create_mem",
+            "equeue.create_dma",
+            "equeue.create_comp",
+            "equeue.add_comp",
+            "equeue.get_comp",
+            "equeue.create_connection",
+            "arith.constant",
+            "memref.alloc",
+            "memref.dealloc",
+            "affine.yield",
+            "affine.for",
+            "affine.parallel",
+        ] {
+            p.per_op.insert(free.into(), 0);
+        }
+        p
+    }
+
+    /// Registers (or overrides) an external op implementation.
+    pub fn register_ext_op(&mut self, signature: &str, cycles: u64) {
+        self.ext_ops.insert(signature.to_string(), ExtOp { cycles });
+    }
+
+    /// Looks up an external op by signature.
+    pub fn ext_op(&self, signature: &str) -> Option<ExtOp> {
+        self.ext_ops.get(signature).copied()
+    }
+
+    /// Registers (or overrides) a processor profile for `kind`.
+    pub fn register_proc_profile(&mut self, kind: &str, profile: ProcProfile) {
+        self.proc_profiles.insert(kind.to_string(), profile);
+    }
+
+    /// The profile for processor `kind` (default profile when unknown).
+    pub fn proc_profile(&self, kind: &str) -> ProcProfile {
+        self.proc_profiles.get(kind).cloned().unwrap_or_else(Self::default_profile)
+    }
+
+    /// Registers (or overrides) a memory factory for `kind` — the §IV-D
+    /// extension point.
+    pub fn register_mem_factory(&mut self, kind: &str, factory: MemFactory) {
+        self.mem_factories.insert(kind.to_string(), factory);
+    }
+
+    /// Builds the timing model for a memory spec; unknown kinds fall back
+    /// to SRAM behaviour.
+    pub fn make_memory(&self, spec: &MemSpec) -> Box<dyn MemoryBehavior> {
+        match self.mem_factories.get(&spec.kind) {
+            Some(f) => f(spec),
+            None => sram_factory(spec),
+        }
+    }
+
+    /// Per-access energy for a memory kind in picojoules (an `energy_pj`
+    /// attribute on `create_mem` overrides this; unknown kinds cost SRAM
+    /// energy).
+    pub fn energy_per_access(&self, kind: &str) -> f64 {
+        self.energy_pj.get(kind).copied().unwrap_or(1.0)
+    }
+
+    /// Registers (or overrides) the per-access energy for a memory kind.
+    pub fn register_energy(&mut self, kind: &str, pj_per_access: f64) {
+        self.energy_pj.insert(kind.to_string(), pj_per_access);
+    }
+}
+
+impl Default for SimLibrary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::AccessKind;
+
+    fn spec(kind: &str) -> MemSpec {
+        MemSpec {
+            kind: kind.into(),
+            capacity_elems: 1024,
+            data_bits: 32,
+            banks: 4,
+            attrs: AttrMap::new(),
+        }
+    }
+
+    #[test]
+    fn standard_ops_present() {
+        let lib = SimLibrary::standard();
+        for sig in ["mac", "mul4", "mac4"] {
+            assert_eq!(lib.ext_op(sig).unwrap().cycles, 1, "{sig}");
+        }
+        assert!(lib.ext_op("unknown").is_none());
+    }
+
+    #[test]
+    fn profiles_make_events_free() {
+        let lib = SimLibrary::standard();
+        let p = lib.proc_profile("ARMr5");
+        assert_eq!(p.cycles("equeue.launch"), 0);
+        assert_eq!(p.cycles("equeue.memcpy"), 0);
+        assert_eq!(p.cycles("arith.addi"), 1);
+        assert_eq!(p.cycles("equeue.op"), 1);
+        // Unknown kinds get the default profile.
+        let q = lib.proc_profile("Weird");
+        assert_eq!(q.cycles("arith.addi"), 1);
+    }
+
+    #[test]
+    fn factories_dispatch_by_kind() {
+        let lib = SimLibrary::standard();
+        let mut sram = lib.make_memory(&spec("SRAM"));
+        assert_eq!(sram.model_name(), "SRAM");
+        assert_eq!(sram.access_cycles(AccessKind::Read, 0, 4, 4), 1);
+        let mut reg = lib.make_memory(&spec("Register"));
+        assert_eq!(reg.access_cycles(AccessKind::Read, 0, 4, 4), 0);
+        let dram = lib.make_memory(&spec("DRAM"));
+        assert_eq!(dram.model_name(), "DRAM");
+        let cache = lib.make_memory(&spec("Cache"));
+        assert_eq!(cache.model_name(), "Cache");
+        // Unknown kind falls back to SRAM behaviour.
+        let fallback = lib.make_memory(&spec("Scratchpad"));
+        assert_eq!(fallback.model_name(), "SRAM");
+    }
+
+    #[test]
+    fn custom_factory_and_ext_op() {
+        fn slow(_: &MemSpec) -> Box<dyn MemoryBehavior> {
+            Box::new(DramBehavior { latency: 99, cycles_per_access: 1 })
+        }
+        let mut lib = SimLibrary::standard();
+        lib.register_mem_factory("Slow", slow);
+        let mut m = lib.make_memory(&spec("Slow"));
+        assert_eq!(m.access_cycles(AccessKind::Read, 0, 1, 1), 100);
+        lib.register_ext_op("fir32", 16);
+        assert_eq!(lib.ext_op("fir32").unwrap().cycles, 16);
+    }
+
+    #[test]
+    fn mem_attrs_feed_factories() {
+        let lib = SimLibrary::standard();
+        let mut s = spec("Cache");
+        s.attrs.set("miss_cycles", 50i64);
+        s.attrs.set("sets", 2i64);
+        let mut c = lib.make_memory(&s);
+        // First access must miss with the configured penalty.
+        assert_eq!(c.access_cycles(AccessKind::Read, 0, 1, 1), 50);
+    }
+}

@@ -1,0 +1,873 @@
+//! The elaborated hardware model: component instances, buffers, and
+//! connections, with per-device schedule queues for contention (§IV-C/D).
+//!
+//! A [`Machine`] is built incrementally while the engine interprets the
+//! structure-specification ops of an EQueue program (`create_proc`,
+//! `create_mem`, …). Timing behaviour lives in small model objects:
+//! processors map op names to cycle counts, memories implement
+//! [`MemoryBehavior`] (the paper's `getReadOrWriteCycles` extension point),
+//! and connections ration bytes per cycle.
+
+use crate::value::{BufId, CompId, ConnId, Tensor};
+use equeue_dialect::ConnKind;
+use std::collections::HashMap;
+
+/// Read or write, for memory/connection accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// Timing model of a memory component: given an access, report its latency
+/// in cycles. Implementations may keep state (e.g. cache tags) — this is
+/// the extension point of §IV-D: a custom component overrides
+/// `access_cycles` exactly like the paper's `getReadOrWriteCycles`.
+pub trait MemoryBehavior: Send {
+    /// Latency in cycles of accessing `elems` elements starting at flat
+    /// element address `addr`, on a memory with `banks` banks.
+    fn access_cycles(&mut self, kind: AccessKind, addr: usize, elems: usize, banks: u32) -> u64;
+
+    /// Model name for diagnostics.
+    fn model_name(&self) -> &str;
+}
+
+/// SRAM: one access per bank per `cycles_per_access`; a burst of `elems`
+/// spreads across banks.
+#[derive(Debug, Clone)]
+pub struct SramBehavior {
+    /// Cycles per (banked) access beat; 1 for on-chip SRAM.
+    pub cycles_per_access: u64,
+}
+
+impl Default for SramBehavior {
+    fn default() -> Self {
+        SramBehavior { cycles_per_access: 1 }
+    }
+}
+
+impl MemoryBehavior for SramBehavior {
+    fn access_cycles(&mut self, _kind: AccessKind, _addr: usize, elems: usize, banks: u32) -> u64 {
+        (elems as u64).div_ceil(banks.max(1) as u64) * self.cycles_per_access
+    }
+
+    fn model_name(&self) -> &str {
+        "SRAM"
+    }
+}
+
+/// Register file: zero-latency access (the fabric the paper's systolic PEs
+/// read/write every cycle).
+#[derive(Debug, Clone, Default)]
+pub struct RegisterBehavior;
+
+impl MemoryBehavior for RegisterBehavior {
+    fn access_cycles(&mut self, _kind: AccessKind, _addr: usize, _elems: usize, _banks: u32) -> u64 {
+        0
+    }
+
+    fn model_name(&self) -> &str {
+        "Register"
+    }
+}
+
+/// DRAM: a fixed row-activation latency plus per-beat transfer cycles.
+#[derive(Debug, Clone)]
+pub struct DramBehavior {
+    /// Activation latency added to every access.
+    pub latency: u64,
+    /// Cycles per banked beat.
+    pub cycles_per_access: u64,
+}
+
+impl Default for DramBehavior {
+    fn default() -> Self {
+        DramBehavior { latency: 10, cycles_per_access: 2 }
+    }
+}
+
+impl MemoryBehavior for DramBehavior {
+    fn access_cycles(&mut self, _kind: AccessKind, _addr: usize, elems: usize, banks: u32) -> u64 {
+        self.latency + (elems as u64).div_ceil(banks.max(1) as u64) * self.cycles_per_access
+    }
+
+    fn model_name(&self) -> &str {
+        "DRAM"
+    }
+}
+
+/// A set-associative LRU cache in front of a slow backing store — the
+/// worked example of §IV-D ("a user would add a new Cache class … and
+/// override getReadOrWriteCycles to determine whether the access is a hit
+/// or a miss").
+#[derive(Debug, Clone)]
+pub struct CacheBehavior {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Elements per cache line.
+    pub line_elems: usize,
+    /// Hit latency.
+    pub hit_cycles: u64,
+    /// Miss latency (fill from backing store).
+    pub miss_cycles: u64,
+    /// Per-set LRU stacks of line tags (most recent last).
+    tags: Vec<Vec<usize>>,
+    /// Hit/miss counters for tests and reports.
+    pub hits: u64,
+    /// Miss counter.
+    pub misses: u64,
+}
+
+impl CacheBehavior {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(sets: usize, ways: usize, line_elems: usize, hit_cycles: u64, miss_cycles: u64) -> Self {
+        assert!(sets > 0 && ways > 0 && line_elems > 0, "cache geometry must be non-zero");
+        CacheBehavior {
+            sets,
+            ways,
+            line_elems,
+            hit_cycles,
+            miss_cycles,
+            tags: vec![vec![]; sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, line: usize) -> bool {
+        let set = line % self.sets;
+        let stack = &mut self.tags[set];
+        if let Some(pos) = stack.iter().position(|&t| t == line) {
+            stack.remove(pos);
+            stack.push(line);
+            true
+        } else {
+            if stack.len() == self.ways {
+                stack.remove(0);
+            }
+            stack.push(line);
+            false
+        }
+    }
+}
+
+impl MemoryBehavior for CacheBehavior {
+    fn access_cycles(&mut self, _kind: AccessKind, addr: usize, elems: usize, _banks: u32) -> u64 {
+        let first_line = addr / self.line_elems;
+        let last_line = (addr + elems.max(1) - 1) / self.line_elems;
+        let mut total = 0;
+        for line in first_line..=last_line {
+            if self.touch(line) {
+                self.hits += 1;
+                total += self.hit_cycles;
+            } else {
+                self.misses += 1;
+                total += self.miss_cycles;
+            }
+        }
+        total
+    }
+
+    fn model_name(&self) -> &str {
+        "Cache"
+    }
+}
+
+/// Byte/access counters per memory (reported in the profiling summary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of read accesses.
+    pub reads: u64,
+    /// Number of write accesses.
+    pub writes: u64,
+}
+
+/// A memory component instance.
+pub struct Memory {
+    /// Component kind string (`"SRAM"`, `"Register"`, …).
+    pub kind: String,
+    /// Capacity in data elements.
+    pub capacity_elems: usize,
+    /// Bits per data element.
+    pub data_bits: u32,
+    /// Bank count.
+    pub banks: u32,
+    /// Elements currently allocated to live buffers.
+    pub used_elems: usize,
+    /// Timing model.
+    pub behavior: Box<dyn MemoryBehavior>,
+    /// Schedule queue: next-free times of the concurrent access ports.
+    pub ports: Vec<u64>,
+    /// Traffic counters.
+    pub counters: MemCounters,
+    /// Energy per access in picojoules (the paper's Fig. 2 discussion:
+    /// SRAM costs more energy per access than a register file).
+    pub energy_per_access_pj: f64,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("kind", &self.kind)
+            .field("capacity_elems", &self.capacity_elems)
+            .field("banks", &self.banks)
+            .field("used_elems", &self.used_elems)
+            .field("model", &self.behavior.model_name())
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Element size in bytes (bits rounded up).
+    pub fn elem_bytes(&self) -> usize {
+        (self.data_bits as usize).div_ceil(8)
+    }
+
+    /// Reserves a port for an access of `cycles` duration no earlier than
+    /// `start`; returns `(actual_start, finish)`. A zero-cycle access never
+    /// waits.
+    pub fn reserve(&mut self, start: u64, cycles: u64) -> (u64, u64) {
+        if cycles == 0 {
+            return (start, start);
+        }
+        let port = self
+            .ports
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let actual = start.max(self.ports[port]);
+        let finish = actual + cycles;
+        self.ports[port] = finish;
+        (actual, finish)
+    }
+
+    /// Accounts traffic of `bytes` in the given direction.
+    pub fn count(&mut self, kind: AccessKind, bytes: u64) {
+        match kind {
+            AccessKind::Read => {
+                self.counters.bytes_read += bytes;
+                self.counters.reads += 1;
+            }
+            AccessKind::Write => {
+                self.counters.bytes_written += bytes;
+                self.counters.writes += 1;
+            }
+        }
+    }
+}
+
+/// A processor timing profile: cycles per op name, with a default.
+#[derive(Debug, Clone)]
+pub struct ProcProfile {
+    /// Cycles for ops not listed in `per_op`.
+    pub default_cycles: u64,
+    /// Per-op overrides, keyed by op name or `equeue.op` signature.
+    pub per_op: HashMap<String, u64>,
+}
+
+impl Default for ProcProfile {
+    fn default() -> Self {
+        ProcProfile { default_cycles: 1, per_op: HashMap::new() }
+    }
+}
+
+impl ProcProfile {
+    /// A profile where every op costs `default_cycles`.
+    pub fn uniform(default_cycles: u64) -> Self {
+        ProcProfile { default_cycles, per_op: HashMap::new() }
+    }
+
+    /// Cycle count for `op_name`.
+    pub fn cycles(&self, op_name: &str) -> u64 {
+        self.per_op.get(op_name).copied().unwrap_or(self.default_cycles)
+    }
+}
+
+/// A processor component instance.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    /// Kind string (`"ARMr5"`, `"MAC"`, `"AIEngine"`, …).
+    pub kind: String,
+    /// Timing profile.
+    pub profile: ProcProfile,
+}
+
+/// A composite component grouping named children.
+#[derive(Debug, Clone, Default)]
+pub struct Composite {
+    /// Named children in insertion order.
+    pub children: Vec<(String, CompId)>,
+}
+
+/// What a component is.
+pub enum ComponentKind {
+    /// Executes launch blocks.
+    Processor(Processor),
+    /// Stores buffers.
+    Memory(Memory),
+    /// A processor specialised for `memcpy`.
+    Dma,
+    /// A named grouping.
+    Composite(Composite),
+}
+
+impl std::fmt::Debug for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComponentKind::Processor(p) => write!(f, "Processor({})", p.kind),
+            ComponentKind::Memory(m) => write!(f, "Memory({})", m.kind),
+            ComponentKind::Dma => write!(f, "Dma"),
+            ComponentKind::Composite(c) => write!(f, "Composite({} children)", c.children.len()),
+        }
+    }
+}
+
+/// One component instance.
+#[derive(Debug)]
+pub struct Component {
+    /// Display name (assigned by `create_comp`; defaults to `kind#id`).
+    pub name: String,
+    /// The component body.
+    pub kind: ComponentKind,
+}
+
+/// A buffer allocated inside a memory.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    /// The owning memory component.
+    pub mem: CompId,
+    /// Element shape.
+    pub shape: Vec<usize>,
+    /// Bytes per element.
+    pub elem_bytes: usize,
+    /// Flat element offset within the memory (for cache indexing).
+    pub base_addr: usize,
+    /// Live (not deallocated).
+    pub live: bool,
+    /// Current contents.
+    pub data: Tensor,
+}
+
+impl Buffer {
+    /// Number of elements.
+    pub fn elems(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.elems() * self.elem_bytes
+    }
+}
+
+/// Per-direction bandwidth interval recorded on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive); equals `start` for instant transfers.
+    pub end: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Direction.
+    pub kind: AccessKind,
+}
+
+/// A connection instance with its schedule queue and statistics.
+#[derive(Debug)]
+pub struct Connection {
+    /// Display name.
+    pub name: String,
+    /// Streaming (independent read/write channels) or Window (exclusive).
+    pub kind: ConnKind,
+    /// Bytes per cycle; 0 means unlimited (§III-A: "the simulation engine
+    /// can also model infinite-bandwidth connections and still collect
+    /// statistics").
+    pub bytes_per_cycle: u64,
+    /// Next-free time of the read channel.
+    read_free: u64,
+    /// Next-free time of the write channel (same as read for Window).
+    write_free: u64,
+    /// All transfers, for bandwidth statistics.
+    pub transfers: Vec<Transfer>,
+}
+
+impl Connection {
+    /// Creates a connection.
+    pub fn new(name: String, kind: ConnKind, bytes_per_cycle: u64) -> Self {
+        Connection { name, kind, bytes_per_cycle, read_free: 0, write_free: 0, transfers: vec![] }
+    }
+
+    /// Cycles needed to move `bytes` (0 when unlimited).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if self.bytes_per_cycle == 0 || bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.bytes_per_cycle)
+        }
+    }
+
+    /// Like [`Connection::reserve`], but the transfer is known to span at
+    /// least `min_duration` cycles (it is pipelined with a memory access of
+    /// that length). Unlimited connections record the spanning transfer for
+    /// statistics without claiming the channel — this is how the engine
+    /// "models infinite-bandwidth connections and still collects
+    /// statistics" (§III-A).
+    pub fn reserve_spanning(
+        &mut self,
+        kind: AccessKind,
+        start: u64,
+        bytes: u64,
+        min_duration: u64,
+    ) -> (u64, u64) {
+        if self.bytes_per_cycle == 0 {
+            let end = start + min_duration;
+            self.transfers.push(Transfer { start, end, bytes, kind });
+            return (start, end);
+        }
+        let dur = self.transfer_cycles(bytes).max(min_duration);
+        self.reserve_for(kind, start, bytes, dur)
+    }
+
+    /// Reserves the channel for a transfer of `bytes` starting no earlier
+    /// than `start`; returns `(actual_start, finish)` and records stats.
+    pub fn reserve(&mut self, kind: AccessKind, start: u64, bytes: u64) -> (u64, u64) {
+        let dur = self.transfer_cycles(bytes);
+        self.reserve_for(kind, start, bytes, dur)
+    }
+
+    fn reserve_for(&mut self, kind: AccessKind, start: u64, bytes: u64, dur: u64) -> (u64, u64) {
+        let chan = match (self.kind, kind) {
+            (ConnKind::Window, _) => {
+                // Exclusive: both directions share one lock.
+                let m = self.read_free.max(self.write_free);
+                self.read_free = m;
+                self.write_free = m;
+                &mut self.read_free
+            }
+            (ConnKind::Streaming, AccessKind::Read) => &mut self.read_free,
+            (ConnKind::Streaming, AccessKind::Write) => &mut self.write_free,
+        };
+        let actual = start.max(*chan);
+        let finish = actual + dur;
+        if dur > 0 {
+            *chan = finish;
+        }
+        if self.kind == ConnKind::Window {
+            self.read_free = self.read_free.max(finish);
+            self.write_free = self.write_free.max(finish);
+        }
+        self.transfers.push(Transfer { start: actual, end: finish, bytes, kind });
+        (actual, finish)
+    }
+}
+
+/// The elaborated machine: all component/buffer/connection instances.
+#[derive(Debug, Default)]
+pub struct Machine {
+    /// Component arena.
+    pub components: Vec<Component>,
+    /// Buffer arena.
+    pub buffers: Vec<Buffer>,
+    /// Connection arena.
+    pub connections: Vec<Connection>,
+}
+
+impl Machine {
+    /// Creates an empty machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a processor; returns its id.
+    pub fn add_processor(&mut self, kind: &str, profile: ProcProfile) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component {
+            name: format!("{kind}#{}", id.0),
+            kind: ComponentKind::Processor(Processor { kind: kind.to_string(), profile }),
+        });
+        id
+    }
+
+    /// Adds a memory; returns its id.
+    pub fn add_memory(
+        &mut self,
+        kind: &str,
+        capacity_elems: usize,
+        data_bits: u32,
+        banks: u32,
+        ports: usize,
+        behavior: Box<dyn MemoryBehavior>,
+    ) -> CompId {
+        self.add_memory_with_energy(kind, capacity_elems, data_bits, banks, ports, behavior, 0.0)
+    }
+
+    /// Adds a memory with an explicit per-access energy cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_memory_with_energy(
+        &mut self,
+        kind: &str,
+        capacity_elems: usize,
+        data_bits: u32,
+        banks: u32,
+        ports: usize,
+        behavior: Box<dyn MemoryBehavior>,
+        energy_per_access_pj: f64,
+    ) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component {
+            name: format!("{kind}#{}", id.0),
+            kind: ComponentKind::Memory(Memory {
+                kind: kind.to_string(),
+                capacity_elems,
+                data_bits,
+                banks,
+                used_elems: 0,
+                behavior,
+                ports: vec![0; ports.max(1)],
+                counters: MemCounters::default(),
+                energy_per_access_pj,
+            }),
+        });
+        id
+    }
+
+    /// Adds a DMA engine; returns its id.
+    pub fn add_dma(&mut self) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component { name: format!("DMA#{}", id.0), kind: ComponentKind::Dma });
+        id
+    }
+
+    /// Adds a composite with named children (children are renamed to their
+    /// given names); returns its id.
+    pub fn add_composite(&mut self, names: &[String], children: &[CompId]) -> CompId {
+        assert_eq!(names.len(), children.len());
+        let id = CompId(self.components.len() as u32);
+        for (n, &c) in names.iter().zip(children) {
+            self.components[c.0 as usize].name = n.clone();
+        }
+        self.components.push(Component {
+            name: format!("Comp#{}", id.0),
+            kind: ComponentKind::Composite(Composite {
+                children: names.iter().cloned().zip(children.iter().copied()).collect(),
+            }),
+        });
+        id
+    }
+
+    /// Adds named children to an existing composite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is not a composite.
+    pub fn extend_composite(&mut self, comp: CompId, names: &[String], children: &[CompId]) {
+        assert_eq!(names.len(), children.len());
+        for (n, &c) in names.iter().zip(children) {
+            self.components[c.0 as usize].name = n.clone();
+        }
+        match &mut self.components[comp.0 as usize].kind {
+            ComponentKind::Composite(c) => {
+                c.children.extend(names.iter().cloned().zip(children.iter().copied()));
+            }
+            _ => panic!("extend_composite target is not a composite"),
+        }
+    }
+
+    /// Looks up a direct child of a composite by name.
+    pub fn child(&self, comp: CompId, name: &str) -> Option<CompId> {
+        match &self.components[comp.0 as usize].kind {
+            ComponentKind::Composite(c) => {
+                c.children.iter().find(|(n, _)| n == name).map(|&(_, id)| id)
+            }
+            _ => None,
+        }
+    }
+
+    /// The component's display name.
+    pub fn name(&self, comp: CompId) -> &str {
+        &self.components[comp.0 as usize].name
+    }
+
+    /// Immutable memory accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is not a memory.
+    pub fn memory(&self, comp: CompId) -> &Memory {
+        match &self.components[comp.0 as usize].kind {
+            ComponentKind::Memory(m) => m,
+            other => panic!("component {} is not a memory: {other:?}", comp.0),
+        }
+    }
+
+    /// Mutable memory accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is not a memory.
+    pub fn memory_mut(&mut self, comp: CompId) -> &mut Memory {
+        match &mut self.components[comp.0 as usize].kind {
+            ComponentKind::Memory(m) => m,
+            _ => panic!("component {} is not a memory", comp.0),
+        }
+    }
+
+    /// Processor accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp` is not a processor.
+    pub fn processor(&self, comp: CompId) -> &Processor {
+        match &self.components[comp.0 as usize].kind {
+            ComponentKind::Processor(p) => p,
+            other => panic!("component {} is not a processor: {other:?}", comp.0),
+        }
+    }
+
+    /// Whether `comp` can execute launch blocks (processor or DMA).
+    pub fn is_executor(&self, comp: CompId) -> bool {
+        matches!(
+            self.components[comp.0 as usize].kind,
+            ComponentKind::Processor(_) | ComponentKind::Dma
+        )
+    }
+
+    /// Allocates a buffer of `shape`×`elem_bytes` inside memory `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the memory lacks capacity.
+    pub fn alloc_buffer(
+        &mut self,
+        mem: CompId,
+        shape: Vec<usize>,
+        elem_bytes: usize,
+        int_data: bool,
+    ) -> Result<BufId, String> {
+        let elems: usize = shape.iter().product();
+        let (base_addr, ok) = {
+            let m = self.memory_mut(mem);
+            let base = m.used_elems;
+            if m.used_elems + elems > m.capacity_elems {
+                (0, false)
+            } else {
+                m.used_elems += elems;
+                (base, true)
+            }
+        };
+        if !ok {
+            let m = self.memory(mem);
+            return Err(format!(
+                "memory '{}' overflow: {} elems used of {}, requested {elems}",
+                self.name(mem),
+                m.used_elems,
+                m.capacity_elems
+            ));
+        }
+        let id = BufId(self.buffers.len() as u32);
+        let data = if int_data {
+            Tensor::zeros_int(shape.clone())
+        } else {
+            Tensor::zeros_float(shape.clone())
+        };
+        self.buffers.push(Buffer { mem, shape, elem_bytes, base_addr, live: true, data });
+        Ok(id)
+    }
+
+    /// Deallocates a buffer, returning its capacity to the memory.
+    pub fn dealloc_buffer(&mut self, buf: BufId) {
+        let (mem, elems, live) = {
+            let b = &self.buffers[buf.0 as usize];
+            (b.mem, b.elems(), b.live)
+        };
+        if live {
+            self.buffers[buf.0 as usize].live = false;
+            self.memory_mut(mem).used_elems =
+                self.memory(mem).used_elems.saturating_sub(elems);
+        }
+    }
+
+    /// Buffer accessor.
+    pub fn buffer(&self, buf: BufId) -> &Buffer {
+        &self.buffers[buf.0 as usize]
+    }
+
+    /// Mutable buffer accessor.
+    pub fn buffer_mut(&mut self, buf: BufId) -> &mut Buffer {
+        &mut self.buffers[buf.0 as usize]
+    }
+
+    /// Adds a connection; returns its id.
+    pub fn add_connection(&mut self, kind: ConnKind, bytes_per_cycle: u64) -> ConnId {
+        let id = ConnId(self.connections.len() as u32);
+        self.connections.push(Connection::new(format!("conn#{}", id.0), kind, bytes_per_cycle));
+        id
+    }
+
+    /// Connection accessor.
+    pub fn connection(&self, conn: ConnId) -> &Connection {
+        &self.connections[conn.0 as usize]
+    }
+
+    /// Mutable connection accessor.
+    pub fn connection_mut(&mut self, conn: ConnId) -> &mut Connection {
+        &mut self.connections[conn.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_access_banks() {
+        let mut s = SramBehavior::default();
+        assert_eq!(s.access_cycles(AccessKind::Read, 0, 4, 4), 1);
+        assert_eq!(s.access_cycles(AccessKind::Read, 0, 5, 4), 2);
+        assert_eq!(s.access_cycles(AccessKind::Read, 0, 1, 1), 1);
+        assert_eq!(s.access_cycles(AccessKind::Read, 0, 0, 4), 0);
+    }
+
+    #[test]
+    fn register_is_free() {
+        let mut r = RegisterBehavior;
+        assert_eq!(r.access_cycles(AccessKind::Write, 0, 100, 1), 0);
+    }
+
+    #[test]
+    fn dram_adds_latency() {
+        let mut d = DramBehavior::default();
+        assert_eq!(d.access_cycles(AccessKind::Read, 0, 1, 1), 12);
+        assert_eq!(d.access_cycles(AccessKind::Read, 0, 4, 4), 12);
+    }
+
+    #[test]
+    fn cache_hits_and_misses() {
+        let mut c = CacheBehavior::new(4, 2, 4, 1, 10);
+        // First touch: miss.
+        assert_eq!(c.access_cycles(AccessKind::Read, 0, 1, 1), 10);
+        // Same line: hit.
+        assert_eq!(c.access_cycles(AccessKind::Read, 3, 1, 1), 1);
+        assert_eq!((c.hits, c.misses), (1, 1));
+        // Thrash one set beyond associativity: set = line % 4. Lines 0, 4, 8
+        // all map to set 0; ways = 2 evicts line 0.
+        c.access_cycles(AccessKind::Read, 16, 1, 1); // line 4, miss
+        c.access_cycles(AccessKind::Read, 32, 1, 1); // line 8, miss, evicts 0
+        assert_eq!(c.access_cycles(AccessKind::Read, 0, 1, 1), 10); // miss again
+        assert_eq!(c.misses, 4);
+    }
+
+    #[test]
+    fn memory_port_contention() {
+        let mut m = Machine::new();
+        let mem =
+            m.add_memory("SRAM", 4096, 32, 4, 1, Box::new(SramBehavior::default()));
+        // Two 4-cycle accesses on 1 port: the second waits.
+        let (s1, f1) = m.memory_mut(mem).reserve(0, 4);
+        let (s2, f2) = m.memory_mut(mem).reserve(0, 4);
+        assert_eq!((s1, f1), (0, 4));
+        assert_eq!((s2, f2), (4, 8));
+        // Zero-cycle access never waits.
+        let (s3, f3) = m.memory_mut(mem).reserve(0, 0);
+        assert_eq!((s3, f3), (0, 0));
+    }
+
+    #[test]
+    fn memory_two_ports_parallel() {
+        let mut m = Machine::new();
+        let mem =
+            m.add_memory("SRAM", 4096, 32, 4, 2, Box::new(SramBehavior::default()));
+        let (s1, _) = m.memory_mut(mem).reserve(0, 4);
+        let (s2, _) = m.memory_mut(mem).reserve(0, 4);
+        let (s3, _) = m.memory_mut(mem).reserve(0, 4);
+        assert_eq!((s1, s2), (0, 0));
+        assert_eq!(s3, 4);
+    }
+
+    #[test]
+    fn buffer_alloc_and_overflow() {
+        let mut m = Machine::new();
+        let mem = m.add_memory("SRAM", 100, 32, 4, 2, Box::new(SramBehavior::default()));
+        let b1 = m.alloc_buffer(mem, vec![64], 4, true).unwrap();
+        assert_eq!(m.buffer(b1).bytes(), 256);
+        assert_eq!(m.buffer(b1).base_addr, 0);
+        let b2 = m.alloc_buffer(mem, vec![36], 4, true).unwrap();
+        assert_eq!(m.buffer(b2).base_addr, 64);
+        assert!(m.alloc_buffer(mem, vec![1], 4, true).is_err());
+        m.dealloc_buffer(b1);
+        assert!(m.alloc_buffer(mem, vec![10], 4, true).is_ok());
+        // Double-dealloc is a no-op.
+        m.dealloc_buffer(b1);
+    }
+
+    #[test]
+    fn composite_lookup() {
+        let mut m = Machine::new();
+        let p = m.add_processor("MAC", ProcProfile::default());
+        let mem = m.add_memory("SRAM", 64, 32, 1, 1, Box::new(SramBehavior::default()));
+        let c = m.add_composite(&["PE".into(), "Mem".into()], &[p, mem]);
+        assert_eq!(m.child(c, "PE"), Some(p));
+        assert_eq!(m.child(c, "Mem"), Some(mem));
+        assert_eq!(m.child(c, "Nope"), None);
+        assert_eq!(m.name(p), "PE");
+        let d = m.add_dma();
+        m.extend_composite(c, &["DMA".into()], &[d]);
+        assert_eq!(m.child(c, "DMA"), Some(d));
+        assert!(m.is_executor(p));
+        assert!(m.is_executor(d));
+        assert!(!m.is_executor(mem));
+    }
+
+    #[test]
+    fn streaming_connection_overlaps_directions() {
+        let mut c = Connection::new("c".into(), ConnKind::Streaming, 4);
+        assert_eq!(c.transfer_cycles(16), 4);
+        let (rs, rf) = c.reserve(AccessKind::Read, 0, 16);
+        let (ws, wf) = c.reserve(AccessKind::Write, 0, 16);
+        assert_eq!((rs, rf), (0, 4));
+        assert_eq!((ws, wf), (0, 4)); // writes do not wait for reads
+        let (rs2, _) = c.reserve(AccessKind::Read, 0, 16);
+        assert_eq!(rs2, 4); // second read serialises after the first
+    }
+
+    #[test]
+    fn window_connection_is_exclusive() {
+        let mut c = Connection::new("c".into(), ConnKind::Window, 4);
+        let (_, f1) = c.reserve(AccessKind::Read, 0, 16);
+        let (s2, _) = c.reserve(AccessKind::Write, 0, 16);
+        assert_eq!(s2, f1);
+    }
+
+    #[test]
+    fn unlimited_connection_is_instant() {
+        let mut c = Connection::new("c".into(), ConnKind::Streaming, 0);
+        let (s, f) = c.reserve(AccessKind::Read, 7, 1_000_000);
+        assert_eq!((s, f), (7, 7));
+        assert_eq!(c.transfers.len(), 1);
+    }
+
+    #[test]
+    fn proc_profile_lookup() {
+        let mut p = ProcProfile::uniform(1);
+        p.per_op.insert("mac4".into(), 1);
+        p.per_op.insert("equeue.launch".into(), 0);
+        assert_eq!(p.cycles("mac4"), 1);
+        assert_eq!(p.cycles("arith.addi"), 1);
+        assert_eq!(p.cycles("equeue.launch"), 0);
+    }
+}

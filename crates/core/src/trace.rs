@@ -1,0 +1,231 @@
+//! Operation-level tracing in the Chrome Trace Event Format (§IV-B).
+//!
+//! The engine records one *complete* event (`"ph": "X"`) per timed
+//! operation, with the component hierarchy as `pid` and the processor name
+//! as `tid`, so `chrome://tracing` / Perfetto render one row per processor.
+//! Stalls (schedule-queue waits) are recorded as separate events in the
+//! `"stall"` category — these are the blue "installing" slots of the
+//! paper's Fig. 13.
+//!
+//! The JSON writer is hand-rolled: the allowed dependency set contains
+//! `serde` but not `serde_json`, and the format is a flat array of small
+//! objects.
+
+use std::fmt::Write as _;
+
+/// Event category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCat {
+    /// A scheduled operation actively executing.
+    Operation,
+    /// Waiting on a contended resource (memory port, connection).
+    Stall,
+    /// Event-queue management (issue/enqueue markers).
+    Control,
+}
+
+impl TraceCat {
+    /// The category string emitted into the JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCat::Operation => "operation",
+            TraceCat::Stall => "stall",
+            TraceCat::Control => "control",
+        }
+    }
+}
+
+/// One trace record (a complete event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Operation name (e.g. `"equeue.read"`, `"mac4"`).
+    pub name: String,
+    /// Category.
+    pub cat: TraceCat,
+    /// Start timestamp in simulated cycles (rendered as µs).
+    pub ts: u64,
+    /// Duration in simulated cycles.
+    pub dur: u64,
+    /// Process row: the component path (e.g. `"Accel"`).
+    pub pid: String,
+    /// Thread row: the processor name (e.g. `"PE0"`).
+    pub tid: String,
+}
+
+/// An in-memory trace; serialises to Chrome trace JSON.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_core::{Trace, TraceCat};
+/// let mut t = Trace::new();
+/// t.record("mac4", TraceCat::Operation, 3, 1, "Accel", "PE0");
+/// let json = t.to_chrome_json();
+/// assert!(json.contains("\"ph\": \"X\""));
+/// assert!(json.contains("\"mac4\""));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Trace { events: vec![], enabled: true }
+    }
+
+    /// Creates a disabled trace that drops all records (for large sweeps).
+    pub fn disabled() -> Self {
+        Trace { events: vec![], enabled: false }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one complete event (no-op when disabled or `dur == 0`
+    /// in the stall category).
+    pub fn record(
+        &mut self,
+        name: &str,
+        cat: TraceCat,
+        ts: u64,
+        dur: u64,
+        pid: &str,
+        tid: &str,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if dur == 0 && cat == TraceCat::Stall {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ts,
+            dur,
+            pid: pid.to_string(),
+            tid: tid.to_string(),
+        });
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialises to Chrome Trace Event Format JSON (an array of complete
+    /// events, one cycle rendered as one microsecond, as in the paper's
+    /// Fig. 13).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 2);
+        out.push_str("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}}}",
+                json_string(&e.name),
+                e.cat.as_str(),
+                e.ts,
+                e.dur,
+                json_string(&e.pid),
+                json_string(&e.tid),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serialises() {
+        let mut t = Trace::new();
+        t.record("equeue.read", TraceCat::Operation, 0, 4, "Accel", "PE0");
+        t.record("stall", TraceCat::Stall, 4, 3, "Accel", "PE0");
+        assert_eq!(t.len(), 2);
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"cat\": \"operation\""));
+        assert!(json.contains("\"cat\": \"stall\""));
+        assert!(json.contains("\"ts\": 0"));
+        assert!(json.contains("\"dur\": 4"));
+    }
+
+    #[test]
+    fn disabled_trace_drops_everything() {
+        let mut t = Trace::disabled();
+        t.record("x", TraceCat::Operation, 0, 1, "p", "t");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn zero_duration_stalls_skipped() {
+        let mut t = Trace::new();
+        t.record("stall", TraceCat::Stall, 0, 0, "p", "t");
+        assert!(t.is_empty());
+        t.record("op", TraceCat::Operation, 0, 0, "p", "t");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn valid_json_shape() {
+        let mut t = Trace::new();
+        for i in 0..3 {
+            t.record(&format!("op{i}"), TraceCat::Operation, i, 1, "p", "t");
+        }
+        let json = t.to_chrome_json();
+        // Separator count: exactly n-1 commas between objects.
+        assert_eq!(json.matches("},\n{").count(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests on the device models: schedule queues never double-book,
+//! connection statistics conserve bytes, and signal combinators match a
+//! reference evaluation over random dependency DAGs.
+
+use equeue_core::{AccessKind, Connection, Machine, SignalTable, SramBehavior};
+use equeue_dialect::ConnKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ports never serve two reservations at once: for any sequence of
+    /// requests, per-port intervals are disjoint and starts never precede
+    /// the request.
+    #[test]
+    fn memory_ports_never_double_book(
+        requests in proptest::collection::vec((0u64..50, 1u64..10), 1..40),
+        ports in 1usize..4,
+    ) {
+        let mut machine = Machine::new();
+        let mem = machine.add_memory("SRAM", 1024, 32, 1, ports, Box::new(SramBehavior::default()));
+        let mut granted: Vec<(u64, u64)> = vec![];
+        for (start, dur) in requests {
+            let (actual, finish) = machine.memory_mut(mem).reserve(start, dur);
+            prop_assert!(actual >= start);
+            prop_assert_eq!(finish, actual + dur);
+            granted.push((actual, finish));
+        }
+        // Overlap count at any instant must not exceed the port count.
+        let mut points: Vec<u64> = granted.iter().flat_map(|&(s, f)| [s, f]).collect();
+        points.sort_unstable();
+        points.dedup();
+        for &t in &points {
+            let live = granted.iter().filter(|&&(s, f)| s <= t && t < f).count();
+            prop_assert!(live <= ports, "{live} live reservations on {ports} ports at t={t}");
+        }
+    }
+
+    /// Connections conserve bytes in their statistics and never overlap
+    /// transfers on one channel.
+    #[test]
+    fn connection_stats_conserve_bytes(
+        requests in proptest::collection::vec((0u64..40, 1u64..64, any::<bool>()), 1..30),
+        bw in 1u64..16,
+        window in any::<bool>(),
+    ) {
+        let kind = if window { ConnKind::Window } else { ConnKind::Streaming };
+        let mut conn = Connection::new("c".into(), kind, bw);
+        let mut expect_read = 0u64;
+        let mut expect_write = 0u64;
+        for (start, bytes, is_read) in requests {
+            let dir = if is_read { AccessKind::Read } else { AccessKind::Write };
+            let (actual, finish) = conn.reserve(dir, start, bytes);
+            prop_assert!(actual >= start);
+            prop_assert_eq!(finish - actual, bytes.div_ceil(bw));
+            if is_read {
+                expect_read += bytes;
+            } else {
+                expect_write += bytes;
+            }
+        }
+        let read: u64 =
+            conn.transfers.iter().filter(|t| t.kind == AccessKind::Read).map(|t| t.bytes).sum();
+        let write: u64 =
+            conn.transfers.iter().filter(|t| t.kind == AccessKind::Write).map(|t| t.bytes).sum();
+        prop_assert_eq!(read, expect_read);
+        prop_assert_eq!(write, expect_write);
+        // Per direction (or globally for Window), transfers are disjoint.
+        let mut check = |dir: AccessKind| {
+            let mut spans: Vec<(u64, u64)> = conn
+                .transfers
+                .iter()
+                .filter(|t| kind == ConnKind::Window || t.kind == dir)
+                .map(|t| (t.start, t.end))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return Err(format!("overlap: {w:?}"));
+                }
+            }
+            Ok(())
+        };
+        prop_assert!(check(AccessKind::Read).is_ok());
+        prop_assert!(check(AccessKind::Write).is_ok());
+    }
+
+    /// Random and/or combinator trees over leaf signals resolve exactly
+    /// like a reference max/min evaluation — when resolutions arrive in
+    /// time order, which is what the engine's scheduler guarantees (`or`
+    /// fires at its first-*resolved* dependency; in time order that is the
+    /// min-time one).
+    #[test]
+    fn signal_dags_match_reference(
+        leaf_times in proptest::collection::vec(0u64..100, 2..8),
+        // Each node: (is_and, dep_a, dep_b) indices into everything before.
+        nodes in proptest::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 1..8),
+    ) {
+        let mut table = SignalTable::new();
+        let leaves: Vec<_> = leaf_times.iter().map(|_| table.fresh()).collect();
+
+        // Build combinator nodes over earlier signals.
+        let mut all = leaves.clone();
+        let mut reference: Vec<Option<u64>> = leaf_times.iter().map(|&t| Some(t)).collect();
+        let mut spec: Vec<(bool, usize, usize)> = vec![];
+        for &(is_and, a, b) in &nodes {
+            let a = a % all.len();
+            let b = b % all.len();
+            let sig = if is_and {
+                table.new_and(&[all[a], all[b]])
+            } else {
+                table.new_or(&[all[a], all[b]])
+            };
+            all.push(sig);
+            spec.push((is_and, a, b));
+            reference.push(None);
+        }
+
+        // Resolve leaves in ascending time order (ties by index), exactly
+        // as the engine's time-ordered scheduler would.
+        let mut order: Vec<usize> = (0..leaves.len()).collect();
+        order.sort_by_key(|&i| (leaf_times[i], i));
+        for &i in &order {
+            table.resolve(leaves[i], leaf_times[i], vec![]);
+        }
+
+        // Reference evaluation.
+        for (i, &(is_and, a, b)) in spec.iter().enumerate() {
+            let (ta, tb) = (reference[a].unwrap(), reference[b].unwrap());
+            reference[leaves.len() + i] =
+                Some(if is_and { ta.max(tb) } else { ta.min(tb) });
+        }
+
+        for (i, &sig) in all.iter().enumerate() {
+            prop_assert!(table.is_resolved(sig), "signal {i} unresolved");
+            prop_assert_eq!(table.resolve_time(sig).unwrap(), reference[i].unwrap(), "node {}", i);
+        }
+    }
+
+    /// Even under adversarial (non-time-ordered) resolution, every
+    /// combinator eventually resolves — no lost wakeups in the cascade.
+    #[test]
+    fn signal_dags_always_resolve(
+        leaf_count in 2usize..8,
+        nodes in proptest::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 1..8),
+        resolve_order in proptest::collection::vec(0usize..8, 8),
+    ) {
+        let mut table = SignalTable::new();
+        let leaves: Vec<_> = (0..leaf_count).map(|_| table.fresh()).collect();
+        let mut all = leaves.clone();
+        for &(is_and, a, b) in &nodes {
+            let a = a % all.len();
+            let b = b % all.len();
+            let sig = if is_and {
+                table.new_and(&[all[a], all[b]])
+            } else {
+                table.new_or(&[all[a], all[b]])
+            };
+            all.push(sig);
+        }
+        let mut order: Vec<usize> = (0..leaf_count).collect();
+        order.sort_by_key(|&i| resolve_order[i % resolve_order.len()]);
+        for &i in &order {
+            table.resolve(leaves[i], i as u64, vec![]);
+        }
+        for (i, &sig) in all.iter().enumerate() {
+            prop_assert!(table.is_resolved(sig), "signal {i} unresolved");
+        }
+    }
+
+    /// Buffer allocation never exceeds capacity and dealloc restores it.
+    #[test]
+    fn allocator_respects_capacity(
+        sizes in proptest::collection::vec(1usize..32, 1..20),
+        capacity in 32usize..128,
+    ) {
+        let mut machine = Machine::new();
+        let mem = machine.add_memory("SRAM", capacity, 32, 1, 1, Box::new(SramBehavior::default()));
+        let mut live: Vec<(equeue_core::BufId, usize)> = vec![];
+        let mut used = 0usize;
+        for (i, &sz) in sizes.iter().enumerate() {
+            match machine.alloc_buffer(mem, vec![sz], 4, true) {
+                Ok(id) => {
+                    used += sz;
+                    prop_assert!(used <= capacity, "allocator over-committed");
+                    live.push((id, sz));
+                }
+                Err(_) => {
+                    prop_assert!(used + sz > capacity, "spurious allocation failure");
+                }
+            }
+            // Free the oldest buffer every third step.
+            if i % 3 == 2 {
+                if let Some((id, sz)) = live.first().copied() {
+                    machine.dealloc_buffer(id);
+                    live.remove(0);
+                    used -= sz;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The Fig. 11 lowering pipeline: one simulable program per stage.
+//!
+//! §VI-D's pipeline lowers a Linalg convolution progressively —
+//! Linalg → Affine → Reassign → Systolic — and simulates at *every* stage,
+//! trading accuracy for effort (Fig. 1). This module assembles each
+//! stage's program from the reusable passes of `equeue-passes`:
+//!
+//! * **Linalg** — buffers placed on SRAM, the conv as one analytic op,
+//!   wrapped in a launch on the kernel processor;
+//! * **Affine** — `--convert-linalg-to-affine-loops` then
+//!   `--equeue-read-write`: explicit loops with per-element SRAM traffic;
+//! * **Reassign** — `--flatten-conv-loops` (dataflow-ordered),
+//!   `--reassign-buffer` onto PE registers, with DMA `memcpy`s staging the
+//!   stationary operands from SRAM;
+//! * **Systolic** — the full PE-array model from
+//!   [`generate_systolic`](crate::generate_systolic).
+
+use crate::systolic::{generate_systolic, SystolicSpec};
+use equeue_dialect::{kinds, AffineBuilder, ConvDims, EqueueBuilder, LinalgBuilder};
+use equeue_ir::{Module, OpBuilder, PassManager, Type};
+use equeue_passes::{
+    AllocateMemory, ConvertLinalgToAffineLoops, Dataflow, EqueueReadWrite, FlattenConvLoops,
+    ReassignBuffer, WrapInLaunch,
+};
+
+/// The four abstraction levels of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Whole-tensor analytic simulation.
+    Linalg,
+    /// Explicit affine loops with SRAM data movement.
+    Affine,
+    /// Flattened loops with register-resident operands.
+    Reassign,
+    /// The full systolic-array model.
+    Systolic,
+}
+
+impl Stage {
+    /// All four stages in pipeline order.
+    pub fn all() -> [Stage; 4] {
+        [Stage::Linalg, Stage::Affine, Stage::Reassign, Stage::Systolic]
+    }
+
+    /// Display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Linalg => "Linalg",
+            Stage::Affine => "Affine",
+            Stage::Reassign => "Reassign",
+            Stage::Systolic => "Systolic",
+        }
+    }
+}
+
+/// A stage program ready to simulate.
+#[derive(Debug)]
+pub struct StageProgram {
+    /// The module.
+    pub module: Module,
+    /// Which stage it models.
+    pub stage: Stage,
+}
+
+/// Builds the program for `stage` on a convolution of `dims`, mapped (at
+/// the systolic stage) onto an `array.0 × array.1` grid with `dataflow`.
+///
+/// # Panics
+///
+/// Panics if a lowering pass fails (which would indicate a bug in the
+/// pipeline composition).
+///
+/// # Examples
+///
+/// ```
+/// use equeue_gen::{build_stage_program, Stage};
+/// use equeue_dialect::ConvDims;
+/// use equeue_passes::Dataflow;
+/// use equeue_core::simulate;
+///
+/// let dims = ConvDims::square(6, 3, 3, 4);
+/// let linalg = build_stage_program(Stage::Linalg, dims, (4, 4), Dataflow::Ws);
+/// let affine = build_stage_program(Stage::Affine, dims, (4, 4), Dataflow::Ws);
+/// let tl = simulate(&linalg.module).unwrap();
+/// let ta = simulate(&affine.module).unwrap();
+/// assert!(ta.cycles < tl.cycles); // runtime falls as lowering proceeds
+/// ```
+pub fn build_stage_program(
+    stage: Stage,
+    dims: ConvDims,
+    array: (usize, usize),
+    dataflow: Dataflow,
+) -> StageProgram {
+    if stage == Stage::Systolic {
+        let spec = SystolicSpec { rows: array.0, cols: array.1, dataflow };
+        return StageProgram { module: generate_systolic(&spec, dims).module, stage };
+    }
+
+    // Common front: structure + memref buffers + the Linalg op.
+    let mut module = Module::new();
+    let top = module.top_block();
+    let capacity = dims.ifmap_elems() + dims.weight_elems() + dims.ofmap_elems();
+    let mut b = OpBuilder::at_end(&mut module, top);
+    let kernel = b.create_proc(kinds::ARM_R5);
+    let sram = b.create_mem(kinds::SRAM, &[capacity], 32, 4);
+    let dma = b.create_dma();
+    b.create_comp(&["Kernel", "SRAM", "DMA"], vec![kernel, sram, dma]);
+    let ifmap = b.memref_alloc(Type::memref(vec![dims.c, dims.h, dims.w], Type::I32));
+    let weights = b.memref_alloc(Type::memref(vec![dims.n, dims.c, dims.fh, dims.fw], Type::I32));
+    let ofmap = b.memref_alloc(Type::memref(vec![dims.n, dims.eh(), dims.ew()], Type::I32));
+    b.linalg_conv2d(ifmap, weights, ofmap);
+
+    let registry = equeue_dialect::standard_registry();
+    let mut pm = PassManager::new(registry);
+    pm.add(AllocateMemory::new(sram));
+    match stage {
+        Stage::Linalg => {
+            pm.add(WrapInLaunch::new(kernel));
+        }
+        Stage::Affine => {
+            pm.add(ConvertLinalgToAffineLoops).add(EqueueReadWrite).add(WrapInLaunch::new(kernel));
+        }
+        Stage::Reassign => {
+            pm.add(ConvertLinalgToAffineLoops)
+                .add(FlattenConvLoops::new(dataflow))
+                .add(EqueueReadWrite)
+                .add(WrapInLaunch::new(kernel));
+        }
+        Stage::Systolic => unreachable!(),
+    }
+    pm.run(&mut module).expect("pipeline must apply");
+
+    if stage == Stage::Reassign {
+        reassign_to_registers(&mut module, dims, dma);
+    }
+    StageProgram { module, stage }
+}
+
+/// The Reassign step: stationary operands move into PE registers, staged
+/// from SRAM by DMA copies chained ahead of the launch (§VI-D-2).
+fn reassign_to_registers(module: &mut Module, dims: ConvDims, dma: equeue_ir::ValueId) {
+    // Buffers after AllocateMemory are equeue.allocs in creation order:
+    // ifmap, weights, ofmap.
+    let allocs = module.find_all("equeue.alloc");
+    let (sram_if, sram_w) = (module.result(allocs[0], 0), module.result(allocs[1], 0));
+
+    let launch = module.find_first("equeue.launch").expect("launch exists");
+    let cap = dims.ifmap_elems() + dims.weight_elems();
+    let mut b = OpBuilder::before(module, launch);
+    let regs = b.create_mem(kinds::REGISTER, &[cap], 32, 1);
+    let reg_if = b.alloc(regs, &[dims.c, dims.h, dims.w], Type::I32);
+    let reg_w = b.alloc(regs, &[dims.n, dims.c, dims.fh, dims.fw], Type::I32);
+    let start = b.control_start();
+    let cp1 = b.memcpy(start, sram_if, reg_if, dma, None);
+    let cp2 = b.memcpy(cp1, sram_w, reg_w, dma, None);
+    module.set_operand(launch, 0, cp2);
+
+    // Redirect in-launch reads from SRAM to the registers.
+    ReassignBuffer::new(sram_if, reg_if).run_on(module);
+    ReassignBuffer::new(sram_w, reg_w).run_on(module);
+    // The memcpys must still read SRAM: restore their sources.
+    let memcpys = module.find_all("equeue.memcpy");
+    module.set_operand(memcpys[0], 1, sram_if);
+    module.set_operand(memcpys[1], 1, sram_w);
+}
+
+trait RunOn {
+    fn run_on(self, module: &mut Module);
+}
+
+impl RunOn for ReassignBuffer {
+    fn run_on(mut self, module: &mut Module) {
+        use equeue_ir::Pass;
+        self.run(module).expect("reassign-buffer cannot fail");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_core::simulate;
+    use equeue_dialect::standard_registry;
+    use equeue_ir::verify_module;
+
+    fn dims() -> ConvDims {
+        ConvDims::square(6, 3, 3, 4)
+    }
+
+    #[test]
+    fn all_stages_verify_and_simulate() {
+        for stage in Stage::all() {
+            let prog = build_stage_program(stage, dims(), (4, 4), Dataflow::Ws);
+            verify_module(&prog.module, &standard_registry())
+                .unwrap_or_else(|e| panic!("{stage:?}: {e}"));
+            let report = simulate(&prog.module).unwrap_or_else(|e| panic!("{stage:?}: {e}"));
+            assert!(report.cycles > 0, "{stage:?}");
+        }
+    }
+
+    #[test]
+    fn runtime_falls_along_the_pipeline() {
+        // Fig. 11b: simulated cycles decrease monotonically with lowering.
+        let mut last = u64::MAX;
+        for stage in Stage::all() {
+            let prog = build_stage_program(stage, dims(), (4, 4), Dataflow::Ws);
+            let cycles = simulate(&prog.module).unwrap().cycles;
+            assert!(cycles < last, "{stage:?}: {cycles} !< {last}");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    fn sram_bandwidth_grows_then_falls() {
+        // Fig. 11c: SRAM read bandwidth grows from Linalg to Affine (data
+        // movement becomes explicit) then falls at Reassign (registers).
+        let get = |stage| {
+            let prog = build_stage_program(stage, dims(), (4, 4), Dataflow::Ws);
+            simulate(&prog.module).unwrap().read_bw_of_kind("SRAM")
+        };
+        let linalg = get(Stage::Linalg);
+        let affine = get(Stage::Affine);
+        let reassign = get(Stage::Reassign);
+        assert!(affine > linalg, "affine {affine} !> linalg {linalg}");
+        assert!(reassign < affine, "reassign {reassign} !< affine {affine}");
+    }
+
+    #[test]
+    fn register_bandwidth_appears_at_reassign() {
+        // Fig. 11c: register bandwidth is zero until the Reassign stage.
+        let affine = build_stage_program(Stage::Affine, dims(), (4, 4), Dataflow::Ws);
+        let ra = simulate(&affine.module).unwrap();
+        assert_eq!(ra.read_bw_of_kind("Register"), 0.0);
+        let reassign = build_stage_program(Stage::Reassign, dims(), (4, 4), Dataflow::Ws);
+        let rr = simulate(&reassign.module).unwrap();
+        assert!(rr.read_bw_of_kind("Register") > 0.0);
+    }
+
+    #[test]
+    fn stages_share_the_first_three_for_all_dataflows() {
+        // §VI-D: "The first three lowering stages are identical for
+        // different dataflows, so they have the same bandwidth and
+        // runtime." (Linalg and Affine don't depend on the dataflow at
+        // all; Reassign differs only in loop order, not totals.)
+        let a = simulate(&build_stage_program(Stage::Affine, dims(), (4, 4), Dataflow::Ws).module)
+            .unwrap();
+        let b = simulate(&build_stage_program(Stage::Affine, dims(), (4, 4), Dataflow::Os).module)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

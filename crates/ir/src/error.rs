@@ -1,0 +1,100 @@
+//! Error types shared across the IR crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by IR construction, parsing, verification, and passes.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::IrError;
+/// let e = IrError::verify("launch expects a signal dependency");
+/// assert!(e.to_string().contains("signal dependency"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A structural or dialect invariant was violated.
+    Verify(String),
+    /// The textual parser rejected the input.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A pass could not be applied.
+    Pass {
+        /// Name of the failing pass.
+        pass: String,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Any other error.
+    Other(String),
+}
+
+impl IrError {
+    /// Builds a [`IrError::Verify`] error.
+    pub fn verify(msg: impl Into<String>) -> Self {
+        IrError::Verify(msg.into())
+    }
+
+    /// Builds a [`IrError::Pass`] error.
+    pub fn pass(pass: impl Into<String>, msg: impl Into<String>) -> Self {
+        IrError::Pass { pass: pass.into(), msg: msg.into() }
+    }
+
+    /// Builds a [`IrError::Other`] error.
+    pub fn other(msg: impl Into<String>) -> Self {
+        IrError::Other(msg.into())
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Verify(m) => write!(f, "verification failed: {m}"),
+            IrError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            IrError::Pass { pass, msg } => write!(f, "pass '{pass}' failed: {msg}"),
+            IrError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// Convenient result alias for IR operations.
+pub type IrResult<T> = Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            IrError::verify("bad op").to_string(),
+            "verification failed: bad op"
+        );
+        assert_eq!(
+            IrError::Parse { line: 3, col: 7, msg: "expected ')'".into() }.to_string(),
+            "parse error at 3:7: expected ')'"
+        );
+        assert_eq!(
+            IrError::pass("launch", "no such proc").to_string(),
+            "pass 'launch' failed: no such proc"
+        );
+        assert_eq!(IrError::other("boom").to_string(), "boom");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&IrError::other("x"));
+    }
+}

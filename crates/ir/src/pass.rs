@@ -1,0 +1,239 @@
+//! The pass framework: named module-to-module transformations and a
+//! [`PassManager`] that runs pipelines with optional inter-pass verification.
+//!
+//! The reusable lowering passes of the paper's §V (implemented in the
+//! `equeue-passes` crate) all plug in through the [`Pass`] trait defined
+//! here; composing them with different parameters is how designers switch
+//! between dataflows (§VI-D).
+
+use crate::error::{IrError, IrResult};
+use crate::module::Module;
+use crate::registry::DialectRegistry;
+use crate::verify::verify_module;
+use std::time::{Duration, Instant};
+
+/// A module transformation.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::{Module, Pass, IrResult};
+/// struct StripAttrs;
+/// impl Pass for StripAttrs {
+///     fn name(&self) -> &str { "strip-attrs" }
+///     fn run(&mut self, m: &mut Module) -> IrResult<()> {
+///         let ops: Vec<_> = m.live_ops().collect();
+///         for op in ops { m.op_mut(op).attrs = Default::default(); }
+///         Ok(())
+///     }
+/// }
+/// ```
+pub trait Pass {
+    /// Stable kebab-case pass name used in diagnostics (`"equeue-read-write"`).
+    fn name(&self) -> &str;
+
+    /// Applies the transformation.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should return [`IrError::Pass`] when preconditions do
+    /// not hold (e.g. a named component is missing).
+    fn run(&mut self, module: &mut Module) -> IrResult<()>;
+}
+
+/// Timing and bookkeeping for one executed pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// The pass name.
+    pub name: String,
+    /// Wall-clock duration of the pass run.
+    pub duration: Duration,
+    /// Live op count after the pass.
+    pub ops_after: usize,
+}
+
+/// Statistics for a whole pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Per-pass entries in execution order.
+    pub passes: Vec<PassStat>,
+}
+
+impl PipelineStats {
+    /// Total wall-clock time across all passes.
+    pub fn total_duration(&self) -> Duration {
+        self.passes.iter().map(|p| p.duration).sum()
+    }
+}
+
+/// Runs a sequence of passes over a module.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::{Module, PassManager, DialectRegistry};
+/// let mut pm = PassManager::new(DialectRegistry::new());
+/// let mut m = Module::new();
+/// let stats = pm.run(&mut m)?;
+/// assert!(stats.passes.is_empty());
+/// # Ok::<(), equeue_ir::IrError>(())
+/// ```
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    registry: DialectRegistry,
+    verify_each: bool,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name().to_string()).collect::<Vec<_>>())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// Creates a pass manager that verifies the module after every pass
+    /// using `registry`.
+    pub fn new(registry: DialectRegistry) -> Self {
+        PassManager { passes: vec![], registry, verify_each: true }
+    }
+
+    /// Disables or enables per-pass verification (enabled by default).
+    pub fn verify_each(&mut self, enabled: bool) -> &mut Self {
+        self.verify_each = enabled;
+        self
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a boxed pass to the pipeline.
+    pub fn add_boxed(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Names of the scheduled passes, in order.
+    pub fn pipeline(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing pass or failed verification, wrapping
+    /// verification failures with the offending pass name.
+    pub fn run(&mut self, module: &mut Module) -> IrResult<PipelineStats> {
+        let mut stats = PipelineStats::default();
+        for pass in &mut self.passes {
+            let start = Instant::now();
+            pass.run(module)?;
+            let duration = start.elapsed();
+            if self.verify_each {
+                verify_module(module, &self.registry).map_err(|e| {
+                    IrError::pass(pass.name(), format!("post-pass verification failed: {e}"))
+                })?;
+            }
+            stats.passes.push(PassStat {
+                name: pass.name().to_string(),
+                duration,
+                ops_after: module.live_ops().count(),
+            });
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMap;
+    use crate::builder::OpBuilder;
+
+    struct AddOp(&'static str);
+    impl Pass for AddOp {
+        fn name(&self) -> &str {
+            "add-op"
+        }
+        fn run(&mut self, m: &mut Module) -> IrResult<()> {
+            let blk = m.top_block();
+            let mut b = OpBuilder::at_end(m, blk);
+            b.op(self.0).finish();
+            Ok(())
+        }
+    }
+
+    struct Failing;
+    impl Pass for Failing {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn run(&mut self, _m: &mut Module) -> IrResult<()> {
+            Err(IrError::pass("failing", "on purpose"))
+        }
+    }
+
+    struct Corrupting;
+    impl Pass for Corrupting {
+        fn name(&self) -> &str {
+            "corrupting"
+        }
+        fn run(&mut self, m: &mut Module) -> IrResult<()> {
+            // Create an op that uses a value defined *after* it.
+            let blk = m.top_block();
+            let def = m.create_op("t.def", vec![], vec![crate::types::Type::I32], AttrMap::new(), vec![]);
+            let v = m.result(def, 0);
+            let user = m.create_op("t.use", vec![v], vec![], AttrMap::new(), vec![]);
+            m.append_op(blk, user);
+            m.append_op(blk, def);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn runs_in_order_with_stats() {
+        let mut pm = PassManager::new(DialectRegistry::new());
+        pm.add(AddOp("t.one")).add(AddOp("t.two"));
+        assert_eq!(pm.pipeline(), vec!["add-op", "add-op"]);
+        let mut m = Module::new();
+        let stats = pm.run(&mut m).unwrap();
+        assert_eq!(stats.passes.len(), 2);
+        assert_eq!(stats.passes[0].ops_after, 1);
+        assert_eq!(stats.passes[1].ops_after, 2);
+        assert!(stats.total_duration() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn failing_pass_stops_pipeline() {
+        let mut pm = PassManager::new(DialectRegistry::new());
+        pm.add(Failing).add(AddOp("t.unreached"));
+        let mut m = Module::new();
+        let e = pm.run(&mut m).unwrap_err();
+        assert!(e.to_string().contains("on purpose"));
+        assert_eq!(m.find_all("t.unreached").len(), 0);
+    }
+
+    #[test]
+    fn verification_catches_corruption() {
+        let mut pm = PassManager::new(DialectRegistry::new());
+        pm.add(Corrupting);
+        let mut m = Module::new();
+        let e = pm.run(&mut m).unwrap_err();
+        assert!(e.to_string().contains("post-pass verification failed"));
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let mut pm = PassManager::new(DialectRegistry::new());
+        pm.verify_each(false);
+        pm.add(Corrupting);
+        let mut m = Module::new();
+        assert!(pm.run(&mut m).is_ok());
+    }
+}

@@ -1,0 +1,297 @@
+//! Textual printing of modules in an MLIR-flavoured generic syntax.
+//!
+//! The grammar is intentionally the *generic* MLIR operation form:
+//!
+//! ```text
+//! %done = "equeue.launch"(%start, %proc) ({
+//! ^bb0(%buf: !equeue.buffer<64xi32>):
+//!   "equeue.return"() : () -> ()
+//! }) {kind = "block"} : (!equeue.signal, !equeue.proc) -> !equeue.signal
+//! ```
+//!
+//! Output is deterministic (attributes print sorted, values are numbered in
+//! program order honouring name hints) and is accepted verbatim by
+//! [`crate::parser::parse_module`], which the round-trip property tests rely
+//! on.
+
+use crate::module::{BlockId, Module, OpId, RegionId, ValueId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write;
+
+/// Prints an entire module.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::{Module, OpBuilder, Type, print_module};
+/// let mut m = Module::new();
+/// let block = m.top_block();
+/// let mut b = OpBuilder::at_end(&mut m, block);
+/// b.op("arith.constant").attr("value", 1i64).result(Type::I32).finish();
+/// let text = print_module(&m);
+/// assert!(text.contains("\"arith.constant\"() {value = 1} : () -> i32"));
+/// ```
+pub fn print_module(module: &Module) -> String {
+    Printer::new(module).print()
+}
+
+/// Prints a single operation (with its regions) at indent 0.
+pub fn print_op(module: &Module, op: OpId) -> String {
+    let mut p = Printer::new(module);
+    // Name every value reachable from the op's operands first so uses of
+    // outer values print stably.
+    p.prename_region_free_values(op);
+    let mut out = String::new();
+    p.write_op(&mut out, op, 0);
+    out
+}
+
+struct Printer<'m> {
+    module: &'m Module,
+    names: HashMap<ValueId, String>,
+    taken: HashSet<String>,
+    next_id: usize,
+}
+
+impl<'m> Printer<'m> {
+    fn new(module: &'m Module) -> Self {
+        Printer { module, names: HashMap::new(), taken: HashSet::new(), next_id: 0 }
+    }
+
+    fn print(mut self) -> String {
+        let mut out = String::new();
+        let top = self.module.top_block();
+        for &op in &self.module.block(top).ops {
+            if self.module.op(op).erased {
+                continue;
+            }
+            self.write_op(&mut out, op, 0);
+        }
+        out
+    }
+
+    fn prename_region_free_values(&mut self, op: OpId) {
+        for &v in &self.module.op(op).operands.clone() {
+            self.name_of(v);
+        }
+    }
+
+    fn fresh_name(&mut self, hint: Option<&str>) -> String {
+        if let Some(h) = hint {
+            let mut candidate = h.to_string();
+            let mut i = 0;
+            while self.taken.contains(&candidate) {
+                i += 1;
+                candidate = format!("{h}_{i}");
+            }
+            self.taken.insert(candidate.clone());
+            return candidate;
+        }
+        loop {
+            let candidate = format!("{}", self.next_id);
+            self.next_id += 1;
+            if !self.taken.contains(&candidate) {
+                self.taken.insert(candidate.clone());
+                return candidate;
+            }
+        }
+    }
+
+    fn name_of(&mut self, v: ValueId) -> String {
+        if let Some(n) = self.names.get(&v) {
+            return n.clone();
+        }
+        let hint = self.module.value(v).name_hint.clone();
+        let n = self.fresh_name(hint.as_deref());
+        self.names.insert(v, n.clone());
+        n
+    }
+
+    fn write_op(&mut self, out: &mut String, op: OpId, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let data = self.module.op(op);
+        out.push_str(&pad);
+        if !data.results.is_empty() {
+            let names: Vec<String> =
+                data.results.clone().iter().map(|&r| self.name_of(r)).collect();
+            let _ = write!(out, "%{}", names.join(", %"));
+            out.push_str(" = ");
+        }
+        let _ = write!(out, "{:?}(", data.name);
+        let operand_names: Vec<String> =
+            data.operands.clone().iter().map(|&v| self.name_of(v)).collect();
+        let _ = write!(out, "%{}", operand_names.join(", %"));
+        if operand_names.is_empty() {
+            // Undo the stray "%" written for the empty case.
+            out.truncate(out.len() - 1);
+        }
+        out.push(')');
+
+        let regions = data.regions.clone();
+        if !regions.is_empty() {
+            out.push_str(" (");
+            for (i, &r) in regions.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                self.write_region(out, r, indent);
+            }
+            out.push(')');
+        }
+
+        let data = self.module.op(op);
+        if !data.attrs.is_empty() {
+            out.push_str(" {");
+            for (i, (k, v)) in data.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k} = {v}");
+            }
+            out.push('}');
+        }
+
+        // Functional type signature.
+        out.push_str(" : (");
+        let operand_tys: Vec<String> = data
+            .operands
+            .iter()
+            .map(|&v| self.module.value_type(v).to_string())
+            .collect();
+        out.push_str(&operand_tys.join(", "));
+        out.push_str(") -> ");
+        let result_tys: Vec<String> = data
+            .results
+            .iter()
+            .map(|&v| self.module.value_type(v).to_string())
+            .collect();
+        match result_tys.len() {
+            0 => out.push_str("()"),
+            1 => out.push_str(&result_tys[0]),
+            _ => {
+                out.push('(');
+                out.push_str(&result_tys.join(", "));
+                out.push(')');
+            }
+        }
+        out.push('\n');
+    }
+
+    fn write_region(&mut self, out: &mut String, region: RegionId, indent: usize) {
+        out.push_str("{\n");
+        for (bi, &b) in self.module.region(region).blocks.iter().enumerate() {
+            self.write_block(out, b, bi, indent + 1);
+        }
+        out.push_str(&"  ".repeat(indent));
+        out.push('}');
+    }
+
+    fn write_block(&mut self, out: &mut String, block: BlockId, index: usize, indent: usize) {
+        let args = self.module.block(block).args.clone();
+        if !args.is_empty() || index > 0 {
+            let pad = "  ".repeat(indent.saturating_sub(1));
+            let _ = write!(out, "{pad}^bb{index}(");
+            for (i, &a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let n = self.name_of(a);
+                let _ = write!(out, "%{n}: {}", self.module.value_type(a));
+            }
+            out.push_str("):\n");
+        }
+        for &op in &self.module.block(block).ops.clone() {
+            if self.module.op(op).erased {
+                continue;
+            }
+            self.write_op(out, op, indent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMap;
+    use crate::builder::OpBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn simple_op() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.op("arith.constant").attr("value", 4i64).result(Type::I32).finish();
+        assert_eq!(print_module(&m), "%0 = \"arith.constant\"() {value = 4} : () -> i32\n");
+    }
+
+    #[test]
+    fn operands_and_multi_results() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let c = b.op("test.src").results(vec![Type::I32, Type::I32]).finish();
+        let (v0, v1) = (b.module().result(c, 0), b.module().result(c, 1));
+        b.op("test.sink").operands(vec![v0, v1]).finish();
+        let text = print_module(&m);
+        assert_eq!(
+            text,
+            "%0, %1 = \"test.src\"() : () -> (i32, i32)\n\
+             \"test.sink\"(%0, %1) : (i32, i32) -> ()\n"
+        );
+    }
+
+    #[test]
+    fn name_hints_and_collisions() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.op("test.a").named_result(Type::I32, "x").finish();
+        b.op("test.b").named_result(Type::I32, "x").finish();
+        let text = print_module(&m);
+        assert!(text.contains("%x = \"test.a\""));
+        assert!(text.contains("%x_1 = \"test.b\""));
+    }
+
+    #[test]
+    fn regions_print_nested() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let r = m.new_region(None);
+        let inner = m.new_block(r, vec![Type::Signal]);
+        {
+            let mut b = OpBuilder::at_end(&mut m, inner);
+            b.op("equeue.return").finish();
+        }
+        let launch =
+            m.create_op("equeue.launch", vec![], vec![Type::Signal], AttrMap::new(), vec![r]);
+        m.append_op(blk, launch);
+        let text = print_module(&m);
+        assert!(text.contains("\"equeue.launch\"() ({"));
+        assert!(text.contains("^bb0(%1: !equeue.signal):"), "{text}");
+        assert!(text.contains("  \"equeue.return\"() : () -> ()"));
+        assert!(text.ends_with("}) : () -> !equeue.signal\n"));
+    }
+
+    #[test]
+    fn print_single_op() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let op = b.op("test.only").finish();
+        assert_eq!(print_op(&m, op), "\"test.only\"() : () -> ()\n");
+    }
+
+    #[test]
+    fn erased_ops_are_skipped() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let dead = b.op("test.dead").finish();
+        b.op("test.live").finish();
+        m.erase_op(dead);
+        let text = print_module(&m);
+        assert!(!text.contains("dead"));
+        assert!(text.contains("live"));
+    }
+}

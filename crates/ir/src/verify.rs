@@ -1,0 +1,253 @@
+//! Structural verification: SSA visibility, use-after-erase, terminator
+//! placement, plus dialect-specific hooks from the
+//! [`DialectRegistry`](crate::registry::DialectRegistry).
+
+use crate::error::{IrError, IrResult};
+use crate::module::{BlockId, Module, OpId, RegionId, ValueId};
+use crate::registry::DialectRegistry;
+use std::collections::HashSet;
+
+/// Verifies the whole module.
+///
+/// Checks performed:
+///
+/// 1. every operand is visible at its use (defined earlier in the same
+///    block, a block argument of an enclosing block, or defined in an
+///    enclosing region before the enclosing op);
+/// 2. no operand refers to a result of an erased op;
+/// 3. ops marked `is_terminator` in the registry appear only as the last op
+///    of their block, and nothing follows them;
+/// 4. each op's registered dialect verifier passes.
+///
+/// # Errors
+///
+/// Returns the first violation as an [`IrError::Verify`], including the
+/// offending op's name and printed form.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::{Module, DialectRegistry, verify_module};
+/// let m = Module::new();
+/// verify_module(&m, &DialectRegistry::new())?;
+/// # Ok::<(), equeue_ir::IrError>(())
+/// ```
+pub fn verify_module(module: &Module, registry: &DialectRegistry) -> IrResult<()> {
+    let mut visible: HashSet<ValueId> = HashSet::new();
+    verify_region(module, registry, module.top_region(), &mut visible)
+}
+
+fn op_context(module: &Module, op: OpId) -> String {
+    format!("in op '{}'", module.op(op).name)
+}
+
+fn verify_region(
+    module: &Module,
+    registry: &DialectRegistry,
+    region: RegionId,
+    visible: &mut HashSet<ValueId>,
+) -> IrResult<()> {
+    let mut introduced: Vec<ValueId> = vec![];
+    for &block in &module.region(region).blocks {
+        verify_block(module, registry, block, visible, &mut introduced)?;
+    }
+    for v in introduced {
+        visible.remove(&v);
+    }
+    Ok(())
+}
+
+fn verify_block(
+    module: &Module,
+    registry: &DialectRegistry,
+    block: BlockId,
+    visible: &mut HashSet<ValueId>,
+    introduced: &mut Vec<ValueId>,
+) -> IrResult<()> {
+    for &arg in &module.block(block).args {
+        visible.insert(arg);
+        introduced.push(arg);
+    }
+    let ops: Vec<OpId> = module
+        .block(block)
+        .ops
+        .iter()
+        .copied()
+        .filter(|&o| !module.op(o).erased)
+        .collect();
+    for (i, &op) in ops.iter().enumerate() {
+        let data = module.op(op);
+        for (oi, &operand) in data.operands.iter().enumerate() {
+            if !visible.contains(&operand) {
+                return Err(IrError::verify(format!(
+                    "operand {oi} {} is not visible at its use {}",
+                    operand,
+                    op_context(module, op)
+                )));
+            }
+            if let crate::module::ValueDef::OpResult { op: def_op, .. } = module.value(operand).def
+            {
+                if module.op(def_op).erased {
+                    return Err(IrError::verify(format!(
+                        "operand {oi} {} refers to an erased op {}",
+                        operand,
+                        op_context(module, op)
+                    )));
+                }
+            }
+        }
+        let traits = registry.traits(&data.name);
+        if traits.is_terminator && i + 1 != ops.len() {
+            return Err(IrError::verify(format!(
+                "terminator '{}' is not the last op of its block",
+                data.name
+            )));
+        }
+        if let Err(msg) = registry.verify_op(module, op) {
+            return Err(IrError::verify(format!("{msg} {}", op_context(module, op))));
+        }
+        for &r in &data.regions {
+            verify_region(module, registry, r, visible)?;
+        }
+        for &res in &data.results {
+            visible.insert(res);
+            introduced.push(res);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrMap;
+    use crate::registry::OpTraits;
+    use crate::types::Type;
+
+    #[test]
+    fn empty_module_verifies() {
+        assert!(verify_module(&Module::new(), &DialectRegistry::new()).is_ok());
+    }
+
+    #[test]
+    fn def_before_use_ok() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::I32], AttrMap::new(), vec![]);
+        m.append_op(blk, a);
+        let v = m.result(a, 0);
+        let u = m.create_op("t.u", vec![v], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, u);
+        assert!(verify_module(&m, &DialectRegistry::new()).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::I32], AttrMap::new(), vec![]);
+        let v = m.result(a, 0);
+        let u = m.create_op("t.u", vec![v], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, u);
+        m.append_op(blk, a);
+        let e = verify_module(&m, &DialectRegistry::new()).unwrap_err();
+        assert!(e.to_string().contains("not visible"));
+    }
+
+    #[test]
+    fn use_of_erased_rejected() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::I32], AttrMap::new(), vec![]);
+        m.append_op(blk, a);
+        let v = m.result(a, 0);
+        let u = m.create_op("t.u", vec![v], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, u);
+        // Erase the def but leave the user: detaching removes it from the
+        // block, so visibility fails first; check the message mentions either.
+        m.erase_op(a);
+        let e = verify_module(&m, &DialectRegistry::new()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("not visible") || msg.contains("erased"), "{msg}");
+    }
+
+    #[test]
+    fn outer_value_visible_in_region() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let a = m.create_op("t.a", vec![], vec![Type::I32], AttrMap::new(), vec![]);
+        m.append_op(blk, a);
+        let v = m.result(a, 0);
+        let r = m.new_region(None);
+        let ib = m.new_block(r, vec![]);
+        let inner = m.create_op("t.u", vec![v], vec![], AttrMap::new(), vec![]);
+        m.append_op(ib, inner);
+        let outer = m.create_op("t.outer", vec![], vec![], AttrMap::new(), vec![r]);
+        m.append_op(blk, outer);
+        assert!(verify_module(&m, &DialectRegistry::new()).is_ok());
+    }
+
+    #[test]
+    fn region_value_not_visible_outside() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let r = m.new_region(None);
+        let ib = m.new_block(r, vec![]);
+        let inner = m.create_op("t.a", vec![], vec![Type::I32], AttrMap::new(), vec![]);
+        m.append_op(ib, inner);
+        let v = m.result(inner, 0);
+        let outer = m.create_op("t.outer", vec![], vec![], AttrMap::new(), vec![r]);
+        m.append_op(blk, outer);
+        let u = m.create_op("t.u", vec![v], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, u);
+        let e = verify_module(&m, &DialectRegistry::new()).unwrap_err();
+        assert!(e.to_string().contains("not visible"));
+    }
+
+    #[test]
+    fn block_args_visible() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let r = m.new_region(None);
+        let ib = m.new_block(r, vec![Type::I32]);
+        let arg = m.block(ib).args[0];
+        let inner = m.create_op("t.u", vec![arg], vec![], AttrMap::new(), vec![]);
+        m.append_op(ib, inner);
+        let outer = m.create_op("t.outer", vec![], vec![], AttrMap::new(), vec![r]);
+        m.append_op(blk, outer);
+        assert!(verify_module(&m, &DialectRegistry::new()).is_ok());
+    }
+
+    #[test]
+    fn terminator_must_be_last() {
+        let mut reg = DialectRegistry::new();
+        reg.register_op("t.ret", OpTraits { is_terminator: true, ..Default::default() }, None);
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let ret = m.create_op("t.ret", vec![], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, ret);
+        let after = m.create_op("t.after", vec![], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, after);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.to_string().contains("terminator"));
+    }
+
+    #[test]
+    fn dialect_verifier_invoked() {
+        fn needs_kind(m: &Module, op: OpId) -> Result<(), String> {
+            if m.op(op).attrs.contains("kind") {
+                Ok(())
+            } else {
+                Err("missing 'kind' attribute".into())
+            }
+        }
+        let mut reg = DialectRegistry::new();
+        reg.register_op("t.k", OpTraits::default(), Some(needs_kind));
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let op = m.create_op("t.k", vec![], vec![], AttrMap::new(), vec![]);
+        m.append_op(blk, op);
+        let e = verify_module(&m, &reg).unwrap_err();
+        assert!(e.to_string().contains("missing 'kind'"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: printing a module and parsing it back must reproduce the
+//! exact same text (a fixed point after one round).
+
+use equeue_ir::{parse_module, print_module, Attr, AttrMap, Module, OpBuilder, Type, ValueId};
+use proptest::prelude::*;
+
+/// Plan for one generated op.
+#[derive(Debug, Clone)]
+struct OpPlan {
+    name: usize,
+    n_results: usize,
+    use_prev: bool,
+    attr_int: Option<i64>,
+    attr_str: Option<String>,
+    attr_arr: Option<Vec<i64>>,
+    attr_bool: Option<bool>,
+    region_body: Vec<RegionOpPlan>,
+    hint: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct RegionOpPlan {
+    name: usize,
+    use_outer: bool,
+    use_arg: bool,
+}
+
+const NAMES: &[&str] = &[
+    "test.alpha",
+    "arith.constant",
+    "equeue.control_start",
+    "test.sink",
+    "affine.load",
+];
+
+const REGION_NAMES: &[&str] = &["test.inner", "equeue.return", "arith.addi"];
+
+const TYPES: &[Type] = &[Type::I32, Type::I64, Type::F32, Type::Index, Type::Signal];
+
+fn op_plan() -> impl Strategy<Value = OpPlan> {
+    (
+        0..NAMES.len(),
+        0usize..3,
+        any::<bool>(),
+        proptest::option::of(any::<i64>()),
+        proptest::option::of("[a-z]{1,6}"),
+        proptest::option::of(proptest::collection::vec(any::<i64>(), 1..4)),
+        proptest::option::of(any::<bool>()),
+        proptest::collection::vec(
+            (0..REGION_NAMES.len(), any::<bool>(), any::<bool>()).prop_map(
+                |(name, use_outer, use_arg)| RegionOpPlan { name, use_outer, use_arg },
+            ),
+            0..3,
+        ),
+        proptest::option::of("[a-z_][a-z0-9_]{0,8}"),
+    )
+        .prop_map(
+            |(name, n_results, use_prev, attr_int, attr_str, attr_arr, attr_bool, region_body, hint)| OpPlan {
+                name,
+                n_results,
+                use_prev,
+                attr_int,
+                attr_str,
+                attr_arr,
+                attr_bool,
+                region_body,
+                hint,
+            },
+        )
+}
+
+fn build_module(plans: &[OpPlan]) -> Module {
+    let mut m = Module::new();
+    let top = m.top_block();
+    let mut avail: Vec<ValueId> = vec![];
+    for (i, p) in plans.iter().enumerate() {
+        let mut attrs = AttrMap::new();
+        if let Some(v) = p.attr_int {
+            attrs.set("value", v);
+        }
+        if let Some(s) = &p.attr_str {
+            attrs.set("label", s.as_str());
+        }
+        if let Some(a) = &p.attr_arr {
+            attrs.set("dims", Attr::IntArray(a.clone()));
+        }
+        if let Some(b) = p.attr_bool {
+            attrs.set("flag", b);
+        }
+
+        let mut regions = vec![];
+        if !p.region_body.is_empty() {
+            let r = m.new_region(None);
+            let b = m.new_block(r, vec![TYPES[i % TYPES.len()].clone()]);
+            let arg = m.block(b).args[0];
+            for rp in &p.region_body {
+                let mut operands = vec![];
+                if rp.use_outer {
+                    if let Some(&v) = avail.first() {
+                        operands.push(v);
+                    }
+                }
+                if rp.use_arg {
+                    operands.push(arg);
+                }
+                let mut ib = OpBuilder::at_end(&mut m, b);
+                let mut spec = ib.op(REGION_NAMES[rp.name]);
+                for v in operands {
+                    spec = spec.operand(v);
+                }
+                spec.finish();
+            }
+            regions.push(r);
+        }
+
+        let operands: Vec<ValueId> = if p.use_prev && !avail.is_empty() {
+            vec![avail[avail.len() - 1]]
+        } else {
+            vec![]
+        };
+        let result_types: Vec<Type> =
+            (0..p.n_results).map(|k| TYPES[(i + k) % TYPES.len()].clone()).collect();
+        let op = m.create_op(NAMES[p.name], operands, result_types, attrs, regions);
+        m.append_op(top, op);
+        for k in 0..p.n_results {
+            let v = m.result(op, k);
+            if k == 0 {
+                if let Some(h) = &p.hint {
+                    m.set_value_name(v, h);
+                }
+            }
+            avail.push(v);
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_print_is_identity(plans in proptest::collection::vec(op_plan(), 0..12)) {
+        let m = build_module(&plans);
+        let text = print_module(&m);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{text}\nerror: {e}"));
+        let text2 = print_module(&reparsed);
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn parse_rejects_random_garbage_gracefully(s in "[ -~]{0,60}") {
+        // Must never panic; errors are fine.
+        let _ = parse_module(&s);
+    }
+
+    #[test]
+    fn type_display_parses_back(idx in 0..TYPES.len(), dims in proptest::collection::vec(1usize..64, 0..3)) {
+        let t = if dims.is_empty() {
+            TYPES[idx].clone()
+        } else {
+            Type::buffer(dims, TYPES[idx].clone())
+        };
+        let text = t.to_string();
+        let parsed = equeue_ir::parse_type(&text).unwrap();
+        prop_assert_eq!(t, parsed);
+    }
+}

@@ -1,0 +1,114 @@
+//! `--allocate-buffer` (§V-2): place `memref.alloc` buffers onto a specific
+//! hardware memory component, turning them into `equeue.alloc`.
+
+use equeue_ir::{IrResult, Module, OpBuilder, Pass, Type, ValueId};
+
+/// The buffer-placement pass. Every `memref.alloc` is replaced by an
+/// `equeue.alloc` on the given memory value.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::{Module, OpBuilder, Type, Pass};
+/// use equeue_dialect::{AffineBuilder, EqueueBuilder, kinds};
+/// use equeue_passes::AllocateMemory;
+///
+/// let mut m = Module::new();
+/// let blk = m.top_block();
+/// let mut b = OpBuilder::at_end(&mut m, blk);
+/// let sram = b.create_mem(kinds::SRAM, &[4096], 32, 4);
+/// b.memref_alloc(Type::memref(vec![16], Type::I32));
+/// AllocateMemory::new(sram).run(&mut m)?;
+/// assert!(m.find_first("memref.alloc").is_none());
+/// assert_eq!(m.find_all("equeue.alloc").len(), 1);
+/// # Ok::<(), equeue_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AllocateMemory {
+    mem: ValueId,
+}
+
+impl AllocateMemory {
+    /// Places all memref buffers on `mem` (an `!equeue.mem` value).
+    pub fn new(mem: ValueId) -> Self {
+        AllocateMemory { mem }
+    }
+}
+
+impl Pass for AllocateMemory {
+    fn name(&self) -> &str {
+        "allocate-buffer"
+    }
+
+    fn run(&mut self, module: &mut Module) -> IrResult<()> {
+        for op in module.find_all("memref.alloc") {
+            let old_result = module.result(op, 0);
+            let (shape, elem) = match module.value_type(old_result) {
+                Type::MemRef { shape, elem } => (shape.clone(), (**elem).clone()),
+                _ => continue,
+            };
+            let mem = self.mem;
+            let mut b = OpBuilder::before(module, op);
+            let new = b
+                .op("equeue.alloc")
+                .operand(mem)
+                .result(Type::buffer(shape, elem))
+                .finish();
+            let new_result = module.result(new, 0);
+            module.replace_all_uses(old_result, new_result);
+            module.erase_op(op);
+        }
+        for op in module.find_all("memref.dealloc") {
+            let target = module.op(op).operands[0];
+            if matches!(module.value_type(target), Type::Buffer { .. }) {
+                let mut b = OpBuilder::before(module, op);
+                b.op("equeue.dealloc").operand(target).finish();
+                module.erase_op(op);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_dialect::{standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder, kinds};
+    use equeue_ir::verify_module;
+
+    #[test]
+    fn rewrites_allocs_and_uses() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let sram = b.create_mem(kinds::SRAM, &[4096], 32, 4);
+        let buf = b.memref_alloc(Type::memref(vec![4, 4], Type::I32));
+        let i = b.const_index(0);
+        b.affine_load(buf, vec![i, i]);
+        b.memref_dealloc(buf);
+
+        AllocateMemory::new(sram).run(&mut m).unwrap();
+        assert!(m.find_first("memref.alloc").is_none());
+        assert!(m.find_first("memref.dealloc").is_none());
+        assert_eq!(m.find_all("equeue.alloc").len(), 1);
+        assert_eq!(m.find_all("equeue.dealloc").len(), 1);
+        let load = m.find_first("affine.load").unwrap();
+        assert!(matches!(m.value_type(m.op(load).operands[0]), Type::Buffer { .. }));
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+
+    #[test]
+    fn buffer_type_preserves_shape_and_elem() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let sram = b.create_mem(kinds::SRAM, &[4096], 64, 4);
+        b.memref_alloc(Type::memref(vec![2, 3], Type::I64));
+        AllocateMemory::new(sram).run(&mut m).unwrap();
+        let alloc = m.find_first("equeue.alloc").unwrap();
+        assert_eq!(
+            *m.value_type(m.result(alloc, 0)),
+            Type::buffer(vec![2, 3], Type::I64)
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Canonicalization: constant folding and common-subexpression elimination
+//! for pure ops, plus dead-code elimination.
+//!
+//! Not one of the paper's ten passes, but the kind of generic compiler
+//! infrastructure the paper's "leverage a broad ecosystem of
+//! transformations" argument presumes: lowering pipelines emit redundant
+//! index arithmetic (e.g. the flatten pass's `div`/`rem` chains), and the
+//! canonicalizer cleans it up for free for *every* hardware model.
+
+use equeue_dialect::standard_registry;
+use equeue_ir::{dce, IrResult, Module, OpBuilder, OpId, Pass, ValueId};
+use std::collections::HashMap;
+
+/// The canonicalization pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Canonicalize;
+
+impl Pass for Canonicalize {
+    fn name(&self) -> &str {
+        "canonicalize"
+    }
+
+    fn run(&mut self, module: &mut Module) -> IrResult<()> {
+        fold_constants(module);
+        cse(module);
+        let registry = standard_registry();
+        dce(module, &registry);
+        Ok(())
+    }
+}
+
+fn const_value(module: &Module, v: ValueId) -> Option<i64> {
+    match module.value(v).def {
+        equeue_ir::ValueDef::OpResult { op, .. } => {
+            let data = module.op(op);
+            if data.name == "arith.constant" && !data.erased {
+                data.attrs.int("value")
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Folds integer binary ops over constant operands into constants.
+fn fold_constants(module: &mut Module) {
+    loop {
+        let mut changed = false;
+        let ops = module.find_all("arith.addi");
+        let more = ["arith.subi", "arith.muli", "arith.divi", "arith.remi"]
+            .iter()
+            .flat_map(|n| module.find_all(n))
+            .collect::<Vec<_>>();
+        for op in ops.into_iter().chain(more) {
+            if module.op(op).erased {
+                continue;
+            }
+            let (a, b) = {
+                let o = &module.op(op).operands;
+                if o.len() != 2 {
+                    continue;
+                }
+                (o[0], o[1])
+            };
+            let (Some(ca), Some(cb)) = (const_value(module, a), const_value(module, b)) else {
+                continue;
+            };
+            let result = match module.op(op).name.as_str() {
+                "arith.addi" => ca.wrapping_add(cb),
+                "arith.subi" => ca.wrapping_sub(cb),
+                "arith.muli" => ca.wrapping_mul(cb),
+                "arith.divi" if cb != 0 => ca / cb,
+                "arith.remi" if cb != 0 => ca % cb,
+                _ => continue,
+            };
+            let ty = module.value_type(module.result(op, 0)).clone();
+            if ty.is_shaped() {
+                continue;
+            }
+            let old = module.result(op, 0);
+            let mut builder = OpBuilder::before(module, op);
+            let folded = builder
+                .op("arith.constant")
+                .attr("value", result)
+                .result(ty)
+                .finish();
+            let new = module.result(folded, 0);
+            module.replace_all_uses(old, new);
+            module.erase_op(op);
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// A structural key for CSE: name, operands, and attribute rendering.
+fn cse_key(module: &Module, op: OpId) -> Option<String> {
+    let data = module.op(op);
+    // Only ops without regions participate (regions would need deep
+    // structural equality).
+    if !data.regions.is_empty() {
+        return None;
+    }
+    let attrs: Vec<String> =
+        data.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let operands: Vec<String> = data.operands.iter().map(|v| format!("{v:?}")).collect();
+    let types: Vec<String> =
+        data.results.iter().map(|&r| module.value_type(r).to_string()).collect();
+    Some(format!("{}|{}|{}|{}", data.name, operands.join(","), attrs.join(","), types.join(",")))
+}
+
+/// Eliminates duplicate pure ops within each block.
+fn cse(module: &mut Module) {
+    let registry = standard_registry();
+    // Collect blocks by walking ops.
+    let mut blocks = vec![module.top_block()];
+    module.walk(|op| {
+        for &r in &module.op(op).regions {
+            blocks.extend(module.region(r).blocks.iter().copied());
+        }
+    });
+    for block in blocks {
+        let mut seen: HashMap<String, OpId> = HashMap::new();
+        let ops = module.block(block).ops.clone();
+        for op in ops {
+            if module.op(op).erased || !registry.traits(&module.op(op).name).is_pure {
+                continue;
+            }
+            let Some(key) = cse_key(module, op) else { continue };
+            match seen.get(&key) {
+                Some(&prev) => {
+                    let results = module.op(op).results.clone();
+                    let prev_results = module.op(prev).results.clone();
+                    for (old, new) in results.into_iter().zip(prev_results) {
+                        module.replace_all_uses(old, new);
+                    }
+                    module.erase_op(op);
+                }
+                None => {
+                    seen.insert(key, op);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_dialect::ArithBuilder;
+    use equeue_ir::Type;
+    use equeue_ir::verify_module;
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let two = b.const_int(2, Type::I32);
+        let three = b.const_int(3, Type::I32);
+        let five = b.addi(two, three);
+        let ten = b.muli(five, two);
+        b.op("test.use").operand(ten).finish();
+
+        Canonicalize.run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+        // addi and muli folded away; the use sees a constant 10.
+        assert!(m.find_first("arith.addi").is_none());
+        assert!(m.find_first("arith.muli").is_none());
+        let use_op = m.find_first("test.use").unwrap();
+        let operand = m.op(use_op).operands[0];
+        assert_eq!(
+            m.op(match m.value(operand).def {
+                equeue_ir::ValueDef::OpResult { op, .. } => op,
+                _ => panic!(),
+            })
+            .attrs
+            .int("value"),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn folds_div_rem_guarding_zero() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let seven = b.const_int(7, Type::I32);
+        let zero = b.const_int(0, Type::I32);
+        let div = b.divi(seven, zero); // must NOT fold
+        b.op("test.use").operand(div).finish();
+        Canonicalize.run(&mut m).unwrap();
+        assert!(m.find_first("arith.divi").is_some());
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let x = b.op("test.input").result(Type::I32).finish_value();
+        let a = b.addi(x, x);
+        let bb = b.addi(x, x); // duplicate
+        b.op("test.use").operands(vec![a, bb]).finish();
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(m.find_all("arith.addi").len(), 1);
+        let use_op = m.find_first("test.use").unwrap();
+        assert_eq!(m.op(use_op).operands[0], m.op(use_op).operands[1]);
+    }
+
+    #[test]
+    fn cse_respects_blocks_and_impurity() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        // Impure ops never merge.
+        b.op("test.effect").attr("k", 1i64).finish();
+        b.op("test.effect").attr("k", 1i64).finish();
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(m.find_all("test.effect").len(), 2);
+    }
+
+    #[test]
+    fn dce_removes_unused_constants() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.const_int(42, Type::I32); // dead
+        let live = b.const_int(7, Type::I32);
+        b.op("test.use").operand(live).finish();
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(m.find_all("arith.constant").len(), 1);
+    }
+
+    #[test]
+    fn canonicalize_cleans_flattened_conv_index_math() {
+        use crate::{ConvertLinalgToAffineLoops, Dataflow, FlattenConvLoops};
+        use equeue_dialect::{AffineBuilder, LinalgBuilder};
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let i = b.memref_alloc(Type::memref(vec![2, 5, 5], Type::I32));
+        let w = b.memref_alloc(Type::memref(vec![2, 2, 2, 2], Type::I32));
+        let o = b.memref_alloc(Type::memref(vec![2, 4, 4], Type::I32));
+        b.linalg_conv2d(i, w, o);
+        ConvertLinalgToAffineLoops.run(&mut m).unwrap();
+        FlattenConvLoops::new(Dataflow::Ws).run(&mut m).unwrap();
+        let before = m.live_ops().count();
+        Canonicalize.run(&mut m).unwrap();
+        let after = m.live_ops().count();
+        assert!(after <= before);
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+}

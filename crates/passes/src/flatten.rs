@@ -1,0 +1,237 @@
+//! Convolution-loop flattening (§VI-D-2): restructure the canonical
+//! six-deep conv nest into three loops whose order reflects the dataflow's
+//! stationary dimension.
+//!
+//! The paper flattens `(Eh, Ew, N, Fh, Fw, C)` into three dimensions —
+//! `Eh·Ew`, `N`, and `Fh·Fw·C` — and orders them so the stationary operand
+//! stays innermost-resident:
+//!
+//! * **WS** (weight stationary): `k (=Fh·Fw·C) → n → e`, each weight is
+//!   reused by `Eh·Ew` ifmaps;
+//! * **IS** (input stationary): `k → e → n`, each ifmap patch is reused by
+//!   `N` weights;
+//! * **OS** (output stationary): `n → e → k`, each ofmap accumulates
+//!   `Fh·Fw·C` products in place.
+
+use equeue_dialect::{AffineBuilder, ArithBuilder};
+use equeue_ir::{IrError, IrResult, Module, OpBuilder, OpId, Pass, ValueId};
+
+/// The three systolic dataflows of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Weight stationary.
+    Ws,
+    /// Input stationary.
+    Is,
+    /// Output stationary.
+    Os,
+}
+
+impl Dataflow {
+    /// Display name as in the paper ("WS"/"IS"/"OS").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dataflow::Ws => "WS",
+            Dataflow::Is => "IS",
+            Dataflow::Os => "OS",
+        }
+    }
+
+    /// All three dataflows.
+    pub fn all() -> [Dataflow; 3] {
+        [Dataflow::Ws, Dataflow::Is, Dataflow::Os]
+    }
+}
+
+/// The conv-nest flattening pass.
+#[derive(Debug, Clone, Copy)]
+pub struct FlattenConvLoops {
+    dataflow: Dataflow,
+}
+
+impl FlattenConvLoops {
+    /// Flattens every marked conv nest for `dataflow`.
+    pub fn new(dataflow: Dataflow) -> Self {
+        FlattenConvLoops { dataflow }
+    }
+}
+
+impl Pass for FlattenConvLoops {
+    fn name(&self) -> &str {
+        "flatten-conv-loops"
+    }
+
+    fn run(&mut self, module: &mut Module) -> IrResult<()> {
+        let marked: Vec<OpId> = module
+            .find_all("affine.for")
+            .into_iter()
+            .filter(|&op| module.op(op).attrs.contains("conv_nest"))
+            .collect();
+        for op in marked {
+            self.flatten_one(module, op)?;
+        }
+        Ok(())
+    }
+}
+
+/// The three flattened dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dim {
+    /// `Eh·Ew` output pixels.
+    E,
+    /// `N` filters.
+    N,
+    /// `Fh·Fw·C` filter elements.
+    K,
+}
+
+impl FlattenConvLoops {
+    fn flatten_one(&self, module: &mut Module, outer: OpId) -> IrResult<()> {
+        let attrs = module.op(outer).attrs.clone();
+        let geti = |k: &str| -> IrResult<usize> {
+            attrs
+                .int(k)
+                .map(|v| v as usize)
+                .ok_or_else(|| IrError::pass("flatten-conv-loops", format!("missing '{k}'")))
+        };
+        let (n, eh, ew, c, fh, fw) =
+            (geti("n")?, geti("eh")?, geti("ew")?, geti("c")?, geti("fh")?, geti("fw")?);
+
+        // Recover the three buffers from the innermost loads/stores.
+        let mut loads: Vec<OpId> = vec![];
+        let mut store: Option<OpId> = None;
+        let region = module.op(outer).regions[0];
+        for op in module.region_ops(region) {
+            match module.op(op).name.as_str() {
+                "affine.load" => loads.push(op),
+                "affine.store" => store = Some(op),
+                _ => {}
+            }
+        }
+        if loads.len() != 3 || store.is_none() {
+            return Err(IrError::pass(
+                "flatten-conv-loops",
+                "conv nest body does not match the canonical form",
+            ));
+        }
+        let ifmap = module.op(loads[0]).operands[0];
+        let weights = module.op(loads[1]).operands[0];
+        let ofmap = module.op(loads[2]).operands[0];
+
+        let order: [Dim; 3] = match self.dataflow {
+            Dataflow::Ws => [Dim::K, Dim::N, Dim::E],
+            Dataflow::Is => [Dim::K, Dim::E, Dim::N],
+            Dataflow::Os => [Dim::N, Dim::E, Dim::K],
+        };
+        let extent = |d: Dim| -> i64 {
+            match d {
+                Dim::E => (eh * ew) as i64,
+                Dim::N => n as i64,
+                Dim::K => (fh * fw * c) as i64,
+            }
+        };
+
+        // Build the three-loop nest before the old one.
+        let mut ivs: Vec<(Dim, ValueId)> = vec![];
+        let mut body = None;
+        for (d, dim) in order.into_iter().enumerate() {
+            let (inner, iv) = if d == 0 {
+                let mut b = OpBuilder::before(module, outer);
+                let (op, inner, iv) = b.affine_for(0, extent(dim), 1);
+                b.module_mut()
+                    .op_mut(op)
+                    .attrs
+                    .set("flattened", self.dataflow.as_str());
+                (inner, iv)
+            } else {
+                let mut b = OpBuilder::at_end(module, body.unwrap());
+                let (_, inner, iv) = b.affine_for(0, extent(dim), 1);
+                b.affine_yield();
+                (inner, iv)
+            };
+            ivs.push((dim, iv));
+            body = Some(inner);
+        }
+        let body = body.unwrap();
+
+        // Recover the six original indices and rebuild the MAC body.
+        let mut kb = OpBuilder::at_end(module, body);
+        let iv_of = |d: Dim, ivs: &[(Dim, ValueId)]| ivs.iter().find(|(x, _)| *x == d).unwrap().1;
+        let e = iv_of(Dim::E, &ivs);
+        let nn = iv_of(Dim::N, &ivs);
+        let k = iv_of(Dim::K, &ivs);
+        let cew = kb.const_index(ew as i64);
+        let ey = kb.divi(e, cew);
+        let ex = kb.remi(e, cew);
+        let cfhfw = kb.const_index((fh * fw) as i64);
+        let cc = kb.divi(k, cfhfw);
+        let rem = kb.remi(k, cfhfw);
+        let cfw = kb.const_index(fw as i64);
+        let ky = kb.divi(rem, cfw);
+        let kx = kb.remi(rem, cfw);
+        let iy = kb.addi(ey, ky);
+        let ix = kb.addi(ex, kx);
+        let a = kb.affine_load(ifmap, vec![cc, iy, ix]);
+        let w = kb.affine_load(weights, vec![nn, cc, ky, kx]);
+        let acc = kb.affine_load(ofmap, vec![nn, ey, ex]);
+        let prod = kb.muli(a, w);
+        let sum = kb.addi(acc, prod);
+        kb.affine_store(sum, ofmap, vec![nn, ey, ex]);
+        kb.affine_yield();
+
+        module.erase_op(outer);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConvertLinalgToAffineLoops;
+    use equeue_dialect::{standard_registry, ConvDims, LinalgBuilder};
+    use equeue_ir::{verify_module, Type};
+
+    fn conv_module(d: ConvDims) -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let i = b.memref_alloc(Type::memref(vec![d.c, d.h, d.w], Type::I32));
+        let w = b.memref_alloc(Type::memref(vec![d.n, d.c, d.fh, d.fw], Type::I32));
+        let o = b.memref_alloc(Type::memref(vec![d.n, d.eh(), d.ew()], Type::I32));
+        b.linalg_conv2d(i, w, o);
+        m
+    }
+
+    #[test]
+    fn flattens_to_three_loops() {
+        for df in Dataflow::all() {
+            let mut m = conv_module(ConvDims::square(4, 2, 2, 3));
+            ConvertLinalgToAffineLoops.run(&mut m).unwrap();
+            FlattenConvLoops::new(df).run(&mut m).unwrap();
+            assert_eq!(m.find_all("affine.for").len(), 3, "{df:?}");
+            let outer = m.find_all("affine.for")[0];
+            assert_eq!(m.op(outer).attrs.str("flattened"), Some(df.as_str()));
+            verify_module(&m, &standard_registry()).unwrap();
+        }
+    }
+
+    #[test]
+    fn loop_extents_reflect_dims() {
+        let d = ConvDims::square(6, 3, 2, 4); // Eh=Ew=4, K=3*3*2=18
+        let mut m = conv_module(d);
+        ConvertLinalgToAffineLoops.run(&mut m).unwrap();
+        FlattenConvLoops::new(Dataflow::Ws).run(&mut m).unwrap();
+        let fors = m.find_all("affine.for");
+        let uppers: Vec<i64> = fors.iter().map(|&f| m.op(f).attrs.int("upper").unwrap()).collect();
+        // WS order: K, N, E.
+        assert_eq!(uppers, vec![18, 4, 16]);
+    }
+
+    #[test]
+    fn dataflow_names() {
+        assert_eq!(Dataflow::Ws.as_str(), "WS");
+        assert_eq!(Dataflow::Is.as_str(), "IS");
+        assert_eq!(Dataflow::Os.as_str(), "OS");
+        assert_eq!(Dataflow::all().len(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! # equeue-passes — reusable lowering passes (§V)
+//!
+//! The paper's central workflow claim is that *compiler passes, not
+//! simulator edits*, are how designers explore accelerator variants. This
+//! crate implements the ten reusable passes of §V plus the standard
+//! Linalg→Affine conversion the pipeline starts from:
+//!
+//! | paper pass | type |
+//! |---|---|
+//! | `--convert-linalg-to-affine-loops` | [`ConvertLinalgToAffineLoops`] |
+//! | 1. EQueue read/write | [`EqueueReadWrite`] |
+//! | 2. Allocate memory | [`AllocateMemory`] |
+//! | 3. Launch | [`WrapInLaunch`] |
+//! | 4. Memcpy | [`InsertMemcpy`] |
+//! | 5. Memcpy to launch | [`MemcpyToLaunch`] |
+//! | 6. Split launch | [`SplitLaunch`] |
+//! | 7. Merge memcpy launch | [`MergeMemcpyLaunch`] |
+//! | 8. Reassign buffer | [`ReassignBuffer`] |
+//! | 9. Parallel to EQueue | [`ParallelToEqueue`] |
+//! | 10. Lower extraction | [`LowerExtraction`] |
+//! | loop flattening (§VI-D-2) | [`FlattenConvLoops`] |
+//!
+//! All passes implement [`equeue_ir::Pass`] and compose through
+//! [`equeue_ir::PassManager`]. Parameterised passes (processor, memory,
+//! buffers) take the SSA values of the components they operate on, exactly
+//! like the paper's pass options name components.
+//!
+//! ## Example: Linalg → Affine → EQueue data movement
+//!
+//! ```
+//! use equeue_ir::{Module, OpBuilder, Type, PassManager};
+//! use equeue_dialect::{standard_registry, AffineBuilder, EqueueBuilder, LinalgBuilder, kinds};
+//! use equeue_passes::{AllocateMemory, ConvertLinalgToAffineLoops, EqueueReadWrite};
+//!
+//! let mut m = Module::new();
+//! let blk = m.top_block();
+//! let mut b = OpBuilder::at_end(&mut m, blk);
+//! let sram = b.create_mem(kinds::SRAM, &[4096], 32, 4);
+//! let i = b.memref_alloc(Type::memref(vec![1, 4, 4], Type::I32));
+//! let w = b.memref_alloc(Type::memref(vec![1, 1, 2, 2], Type::I32));
+//! let o = b.memref_alloc(Type::memref(vec![1, 3, 3], Type::I32));
+//! b.linalg_conv2d(i, w, o);
+//!
+//! let mut pm = PassManager::new(standard_registry());
+//! pm.add(ConvertLinalgToAffineLoops)
+//!   .add(AllocateMemory::new(sram))
+//!   .add(EqueueReadWrite);
+//! pm.run(&mut m)?;
+//! assert!(m.find_first("equeue.read").is_some());
+//! # Ok::<(), equeue_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod allocate;
+mod canonicalize;
+mod flatten;
+mod launch;
+mod linalg_to_affine;
+mod memcpy;
+mod parallel;
+mod read_write;
+mod reassign;
+mod split;
+
+pub use allocate::AllocateMemory;
+pub use canonicalize::Canonicalize;
+pub use flatten::{Dataflow, FlattenConvLoops};
+pub use launch::WrapInLaunch;
+pub use linalg_to_affine::ConvertLinalgToAffineLoops;
+pub use memcpy::{InsertMemcpy, MemcpyToLaunch, MergeMemcpyLaunch};
+pub use parallel::{LowerExtraction, ParallelToEqueue};
+pub use read_write::EqueueReadWrite;
+pub use reassign::ReassignBuffer;
+pub use split::SplitLaunch;

@@ -1,0 +1,236 @@
+//! `--convert-linalg-to-affine-loops`: lower Linalg named ops to explicit
+//! affine loop nests (§VI-D-1).
+//!
+//! `linalg.conv2d` becomes the canonical six-deep nest over
+//! `(N, Eh, Ew, C, Fh, Fw)` with explicit loads/stores; the outermost loop
+//! is tagged with a `conv_nest` marker attribute (plus the dimensions) so
+//! the [`FlattenConvLoops`](crate::FlattenConvLoops) pass can find and
+//! restructure it.
+
+use equeue_dialect::{conv2d_dims, AffineBuilder, ArithBuilder};
+use equeue_ir::{IrError, IrResult, Module, OpBuilder, OpId, Pass, ValueId};
+
+/// The Linalg→Affine conversion pass.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_ir::{Module, OpBuilder, Type, Pass};
+/// use equeue_dialect::{AffineBuilder, LinalgBuilder};
+/// use equeue_passes::ConvertLinalgToAffineLoops;
+///
+/// let mut m = Module::new();
+/// let blk = m.top_block();
+/// let mut b = OpBuilder::at_end(&mut m, blk);
+/// let i = b.memref_alloc(Type::memref(vec![1, 4, 4], Type::I32));
+/// let w = b.memref_alloc(Type::memref(vec![1, 1, 2, 2], Type::I32));
+/// let o = b.memref_alloc(Type::memref(vec![1, 3, 3], Type::I32));
+/// b.linalg_conv2d(i, w, o);
+/// ConvertLinalgToAffineLoops.run(&mut m)?;
+/// assert!(m.find_first("linalg.conv2d").is_none());
+/// assert!(m.find_first("affine.for").is_some());
+/// # Ok::<(), equeue_ir::IrError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConvertLinalgToAffineLoops;
+
+impl Pass for ConvertLinalgToAffineLoops {
+    fn name(&self) -> &str {
+        "convert-linalg-to-affine-loops"
+    }
+
+    fn run(&mut self, module: &mut Module) -> IrResult<()> {
+        for op in module.find_all("linalg.conv2d") {
+            lower_conv2d(module, op)?;
+        }
+        for op in module.find_all("linalg.matmul") {
+            lower_matmul(module, op)?;
+        }
+        for op in module.find_all("linalg.fill") {
+            lower_fill(module, op)?;
+        }
+        Ok(())
+    }
+}
+
+fn lower_conv2d(module: &mut Module, op: OpId) -> IrResult<()> {
+    let dims = conv2d_dims(module, op).map_err(|e| IrError::pass("convert-linalg", e))?;
+    let (ifmap, weights, ofmap) = {
+        let o = module.op(op).operands.clone();
+        (o[0], o[1], o[2])
+    };
+    let mut b = OpBuilder::before(module, op);
+    // for n / ey / ex / c / ky / kx
+    let (for_n, body_n, iv_n) = b.affine_for(0, dims.n as i64, 1);
+    b.module_mut().op_mut(for_n).attrs.set("conv_nest", equeue_ir::Attr::Unit);
+    for (key, val) in [
+        ("n", dims.n),
+        ("eh", dims.eh()),
+        ("ew", dims.ew()),
+        ("c", dims.c),
+        ("fh", dims.fh),
+        ("fw", dims.fw),
+    ] {
+        b.module_mut().op_mut(for_n).attrs.set(key, val as i64);
+    }
+
+    let mut ib = OpBuilder::at_end(b.module_mut(), body_n);
+    let (_, body_ey, iv_ey) = ib.affine_for(0, dims.eh() as i64, 1);
+    ib.affine_yield();
+    let mut ib = OpBuilder::at_end(module, body_ey);
+    let (_, body_ex, iv_ex) = ib.affine_for(0, dims.ew() as i64, 1);
+    ib.affine_yield();
+    let mut ib = OpBuilder::at_end(module, body_ex);
+    let (_, body_c, iv_c) = ib.affine_for(0, dims.c as i64, 1);
+    ib.affine_yield();
+    let mut ib = OpBuilder::at_end(module, body_c);
+    let (_, body_ky, iv_ky) = ib.affine_for(0, dims.fh as i64, 1);
+    ib.affine_yield();
+    let mut ib = OpBuilder::at_end(module, body_ky);
+    let (_, body_kx, iv_kx) = ib.affine_for(0, dims.fw as i64, 1);
+    ib.affine_yield();
+
+    // Innermost body: the multiply-accumulate.
+    let mut kb = OpBuilder::at_end(module, body_kx);
+    let iy = kb.addi(iv_ey, iv_ky);
+    let ix = kb.addi(iv_ex, iv_kx);
+    let a = kb.affine_load(ifmap, vec![iv_c, iy, ix]);
+    let w = kb.affine_load(weights, vec![iv_n, iv_c, iv_ky, iv_kx]);
+    let acc = kb.affine_load(ofmap, vec![iv_n, iv_ey, iv_ex]);
+    let prod = kb.muli(a, w);
+    let sum = kb.addi(acc, prod);
+    kb.affine_store(sum, ofmap, vec![iv_n, iv_ey, iv_ex]);
+    kb.affine_yield();
+
+    module.erase_op(op);
+    Ok(())
+}
+
+fn lower_matmul(module: &mut Module, op: OpId) -> IrResult<()> {
+    let (a, bb, c) = {
+        let o = module.op(op).operands.clone();
+        (o[0], o[1], o[2])
+    };
+    let shape = |m: &Module, v: ValueId| -> Vec<usize> {
+        m.value_type(v).shape().unwrap_or(&[]).to_vec()
+    };
+    let (ms, ks) = {
+        let s = shape(module, a);
+        (s[0] as i64, s[1] as i64)
+    };
+    let ns = shape(module, bb)[1] as i64;
+
+    let mut b = OpBuilder::before(module, op);
+    let (_, body_i, iv_i) = b.affine_for(0, ms, 1);
+    let mut ib = OpBuilder::at_end(b.module_mut(), body_i);
+    let (_, body_j, iv_j) = ib.affine_for(0, ns, 1);
+    ib.affine_yield();
+    let mut ib = OpBuilder::at_end(module, body_j);
+    let (_, body_k, iv_k) = ib.affine_for(0, ks, 1);
+    ib.affine_yield();
+    let mut kb = OpBuilder::at_end(module, body_k);
+    let av = kb.affine_load(a, vec![iv_i, iv_k]);
+    let bv = kb.affine_load(bb, vec![iv_k, iv_j]);
+    let cv = kb.affine_load(c, vec![iv_i, iv_j]);
+    let prod = kb.muli(av, bv);
+    let sum = kb.addi(cv, prod);
+    kb.affine_store(sum, c, vec![iv_i, iv_j]);
+    kb.affine_yield();
+
+    module.erase_op(op);
+    Ok(())
+}
+
+fn lower_fill(module: &mut Module, op: OpId) -> IrResult<()> {
+    let (scalar, buf) = {
+        let o = module.op(op).operands.clone();
+        (o[0], o[1])
+    };
+    let shape = module.value_type(buf).shape().unwrap_or(&[]).to_vec();
+    let mut ivs: Vec<ValueId> = vec![];
+    let mut body = None;
+    for (d, &dim) in shape.iter().enumerate() {
+        let (inner, iv) = if d == 0 {
+            let mut ib = OpBuilder::before(module, op);
+            let (_, inner, iv) = ib.affine_for(0, dim as i64, 1);
+            (inner, iv)
+        } else {
+            let mut ib = OpBuilder::at_end(module, body.unwrap());
+            let (_, inner, iv) = ib.affine_for(0, dim as i64, 1);
+            ib.affine_yield();
+            (inner, iv)
+        };
+        ivs.push(iv);
+        body = Some(inner);
+    }
+    if let Some(body) = body {
+        let mut kb = OpBuilder::at_end(module, body);
+        kb.affine_store(scalar, buf, ivs);
+        kb.affine_yield();
+    }
+    module.erase_op(op);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_dialect::{standard_registry, ConvDims, LinalgBuilder};
+    use equeue_ir::{verify_module, Type};
+
+    fn conv_module(d: ConvDims) -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let i = b.memref_alloc(Type::memref(vec![d.c, d.h, d.w], Type::I32));
+        let w = b.memref_alloc(Type::memref(vec![d.n, d.c, d.fh, d.fw], Type::I32));
+        let o = b.memref_alloc(Type::memref(vec![d.n, d.eh(), d.ew()], Type::I32));
+        b.linalg_conv2d(i, w, o);
+        m
+    }
+
+    #[test]
+    fn conv_produces_six_loops() {
+        let mut m = conv_module(ConvDims::square(4, 2, 2, 3));
+        ConvertLinalgToAffineLoops.run(&mut m).unwrap();
+        assert_eq!(m.find_all("affine.for").len(), 6);
+        assert_eq!(m.find_all("affine.load").len(), 3);
+        assert_eq!(m.find_all("affine.store").len(), 1);
+        assert!(m.find_first("linalg.conv2d").is_none());
+        verify_module(&m, &standard_registry()).unwrap();
+        // Marker present with dims.
+        let outer = m.find_first("affine.for").unwrap();
+        assert!(m.op(outer).attrs.contains("conv_nest"));
+        assert_eq!(m.op(outer).attrs.int("eh"), Some(3));
+    }
+
+    #[test]
+    fn matmul_produces_three_loops() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let a = b.memref_alloc(Type::memref(vec![2, 3], Type::I32));
+        let bb = b.memref_alloc(Type::memref(vec![3, 4], Type::I32));
+        let c = b.memref_alloc(Type::memref(vec![2, 4], Type::I32));
+        b.linalg_matmul(a, bb, c);
+        ConvertLinalgToAffineLoops.run(&mut m).unwrap();
+        assert_eq!(m.find_all("affine.for").len(), 3);
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+
+    #[test]
+    fn fill_produces_rank_loops() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let zero = b.const_int(0, Type::I32);
+        let buf = b.memref_alloc(Type::memref(vec![2, 5], Type::I32));
+        b.linalg_fill(zero, buf);
+        ConvertLinalgToAffineLoops.run(&mut m).unwrap();
+        assert_eq!(m.find_all("affine.for").len(), 2);
+        assert_eq!(m.find_all("affine.store").len(), 1);
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+
+    use equeue_dialect::arith::ArithBuilder;
+}

@@ -1,0 +1,107 @@
+//! `--equeue-read-write` (§V-1): rewrite Affine loads/stores on EQueue
+//! buffers into explicit `equeue.read`/`equeue.write` data movement.
+
+use equeue_ir::{IrResult, Module, OpBuilder, Pass, Type};
+
+/// The read/write conversion pass.
+///
+/// Only accesses whose target is an `!equeue.buffer` are rewritten; plain
+/// `memref` accesses (not yet placed on a hardware memory by
+/// [`AllocateMemory`](crate::AllocateMemory)) are left alone.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EqueueReadWrite;
+
+impl Pass for EqueueReadWrite {
+    fn name(&self) -> &str {
+        "equeue-read-write"
+    }
+
+    fn run(&mut self, module: &mut Module) -> IrResult<()> {
+        for op in module.find_all("affine.load") {
+            let target = module.op(op).operands[0];
+            if !matches!(module.value_type(target), Type::Buffer { .. }) {
+                continue;
+            }
+            let indices = module.op(op).operands[1..].to_vec();
+            let old_result = module.result(op, 0);
+            let mut b = OpBuilder::before(module, op);
+            let n_idx = indices.len() as i64;
+            let elem = b.module().value_type(target).elem().cloned().unwrap_or(Type::Any);
+            let new = b
+                .op("equeue.read")
+                .attr("segments", vec![1, n_idx, 0])
+                .operand(target)
+                .operands(indices)
+                .result(elem)
+                .finish();
+            let new_result = module.result(new, 0);
+            module.replace_all_uses(old_result, new_result);
+            module.erase_op(op);
+        }
+        for op in module.find_all("affine.store") {
+            let target = module.op(op).operands[1];
+            if !matches!(module.value_type(target), Type::Buffer { .. }) {
+                continue;
+            }
+            let value = module.op(op).operands[0];
+            let indices = module.op(op).operands[2..].to_vec();
+            let mut b = OpBuilder::before(module, op);
+            let n_idx = indices.len() as i64;
+            b.op("equeue.write")
+                .attr("segments", vec![1, 1, n_idx, 0])
+                .operand(value)
+                .operand(target)
+                .operands(indices)
+                .finish();
+            module.erase_op(op);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_dialect::{standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder, kinds};
+    use equeue_ir::verify_module;
+
+    #[test]
+    fn converts_buffer_accesses_only() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let mem = b.create_mem(kinds::SRAM, &[64], 32, 4);
+        let ebuf = b.alloc(mem, &[8], Type::I32);
+        let mbuf = b.memref_alloc(Type::memref(vec![8], Type::I32));
+        let i = b.const_index(0);
+        let v1 = b.affine_load(ebuf, vec![i]);
+        let v2 = b.affine_load(mbuf, vec![i]);
+        b.affine_store(v1, ebuf, vec![i]);
+        b.affine_store(v2, mbuf, vec![i]);
+
+        EqueueReadWrite.run(&mut m).unwrap();
+        assert_eq!(m.find_all("equeue.read").len(), 1);
+        assert_eq!(m.find_all("equeue.write").len(), 1);
+        assert_eq!(m.find_all("affine.load").len(), 1);
+        assert_eq!(m.find_all("affine.store").len(), 1);
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+
+    #[test]
+    fn rewritten_uses_point_at_read() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let mem = b.create_mem(kinds::SRAM, &[64], 32, 4);
+        let ebuf = b.alloc(mem, &[8], Type::I32);
+        let i = b.const_index(3);
+        let v = b.affine_load(ebuf, vec![i]);
+        let s = b.addi(v, v);
+        EqueueReadWrite.run(&mut m).unwrap();
+        let read = m.find_first("equeue.read").unwrap();
+        let addi = m.find_first("arith.addi").unwrap();
+        assert_eq!(m.op(addi).operands[0], m.result(read, 0));
+        let _ = s;
+        verify_module(&m, &standard_registry()).unwrap();
+    }
+}

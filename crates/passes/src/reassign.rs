@@ -1,0 +1,74 @@
+//! `--reassign-buffer` (§V-8): replace the uses of one buffer with another
+//! (e.g. turn SRAM accesses into PE-register accesses).
+
+use equeue_ir::{IrResult, Module, Pass, ValueId};
+
+/// The buffer-reassignment pass.
+///
+/// Every use of `from` — in reads, writes, memcpys, and launch captures —
+/// is replaced by `to`. The defining `alloc` of `from` is left in place
+/// (dead-code elimination can clean it up if it becomes unused).
+#[derive(Debug, Clone, Copy)]
+pub struct ReassignBuffer {
+    from: ValueId,
+    to: ValueId,
+}
+
+impl ReassignBuffer {
+    /// Replaces uses of buffer `from` with buffer `to`.
+    pub fn new(from: ValueId, to: ValueId) -> Self {
+        ReassignBuffer { from, to }
+    }
+}
+
+impl Pass for ReassignBuffer {
+    fn name(&self) -> &str {
+        "reassign-buffer"
+    }
+
+    fn run(&mut self, module: &mut Module) -> IrResult<()> {
+        module.replace_all_uses(self.from, self.to);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_core::simulate;
+    use equeue_dialect::{standard_registry, EqueueBuilder, kinds};
+    use equeue_ir::{verify_module, OpBuilder, Type};
+
+    #[test]
+    fn sram_reads_become_register_reads() {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let sram = b.create_mem(kinds::SRAM, &[64], 32, 1);
+        let reg = b.create_mem(kinds::REGISTER, &[64], 32, 1);
+        let sbuf = b.alloc(sram, &[4], Type::I32);
+        let rbuf = b.alloc(reg, &[4], Type::I32);
+        let start = b.control_start();
+        let l = b.launch(start, pe, &[sbuf], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.read(l.body_args[0], None);
+            ib.ret(vec![]);
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+
+        // Before reassignment the read hits SRAM: 4 cycles on 1 bank.
+        let before = simulate(&m).unwrap();
+        assert_eq!(before.cycles, 4);
+
+        ReassignBuffer::new(sbuf, rbuf).run(&mut m).unwrap();
+        verify_module(&m, &standard_registry()).unwrap();
+        let after = simulate(&m).unwrap();
+        // Register access is free.
+        assert_eq!(after.cycles, 0);
+        assert_eq!(after.memory_named("SRAM").unwrap().reads, 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! # scalesim — an analytical SCALE-Sim-style systolic-array baseline
+//!
+//! A Rust reimplementation of the first-order timing model of
+//! SCALE-Sim (Samajdar et al., arXiv:1811.02883), the validated custom
+//! simulator the paper compares against in §VI-C / Fig. 9. It models an
+//! `Ah×Aw` systolic array running a convolution under the three classic
+//! dataflows (§VI-A):
+//!
+//! * **WS** — weights stationary: rows host the `Fh·Fw·C` filter elements,
+//!   columns host the `N` filters, and `Eh·Ew` ifmap pixels stream through;
+//! * **IS** — inputs stationary: rows host filter elements, columns host
+//!   `Eh·Ew` ifmap patches, and `N` weights stream through;
+//! * **OS** — outputs stationary: rows host `Eh·Ew` ofmap pixels, columns
+//!   host `N` filters, and `Fh·Fw·C` operand pairs stream through.
+//!
+//! When the mapped dimensions exceed the array, the work *folds*:
+//! `Fr = ⌈D1/Ah⌉` by `Fc = ⌈D2/Aw⌉` passes. Each pass costs a stationary
+//! load (`⌈ru·cu/Aw⌉` cycles) plus a pipelined stream
+//! (`S + ru + cu − 1` cycles of fill, stream, and drain, with `S` doubled
+//! for OS where both operands stream).
+//!
+//! The model also reports first-order SRAM traffic so average bandwidths
+//! can be compared against the EQueue simulation (Fig. 9b/d).
+//!
+//! ## Example
+//!
+//! ```
+//! use scalesim::{scale_sim, ArrayShape, ConvShape, Dataflow};
+//! let r = scale_sim(
+//!     ArrayShape { rows: 4, cols: 4 },
+//!     ConvShape { h: 8, w: 8, fh: 2, fw: 2, c: 3, n: 1 },
+//!     Dataflow::Ws,
+//! );
+//! assert!(r.cycles > 0);
+//! assert_eq!(r.folds, (3, 1)); // ⌈12/4⌉ × ⌈1/4⌉
+//! ```
+
+#![warn(missing_docs)]
+
+/// Systolic array dimensions (`Ah × Aw` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayShape {
+    /// Rows (`Ah`).
+    pub rows: usize,
+    /// Columns (`Aw`).
+    pub cols: usize,
+}
+
+/// Convolution problem shape (paper §VI-A notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Filter height.
+    pub fh: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// Channels.
+    pub c: usize,
+    /// Filter count.
+    pub n: usize,
+}
+
+impl ConvShape {
+    /// A square convolution.
+    pub fn square(hw: usize, f: usize, c: usize, n: usize) -> Self {
+        ConvShape { h: hw, w: hw, fh: f, fw: f, c, n }
+    }
+
+    /// Output height `Eh`.
+    pub fn eh(&self) -> usize {
+        self.h - self.fh + 1
+    }
+
+    /// Output width `Ew`.
+    pub fn ew(&self) -> usize {
+        self.w - self.fw + 1
+    }
+
+    /// Output pixels `E = Eh·Ew`.
+    pub fn e(&self) -> usize {
+        self.eh() * self.ew()
+    }
+
+    /// Filter elements `K = Fh·Fw·C`.
+    pub fn k(&self) -> usize {
+        self.fh * self.fw * self.c
+    }
+
+    /// Whether the filter fits in the input.
+    pub fn valid(&self) -> bool {
+        self.fh <= self.h && self.fw <= self.w
+    }
+}
+
+/// The three dataflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Weight stationary.
+    Ws,
+    /// Input stationary.
+    Is,
+    /// Output stationary.
+    Os,
+}
+
+impl Dataflow {
+    /// Paper spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dataflow::Ws => "WS",
+            Dataflow::Is => "IS",
+            Dataflow::Os => "OS",
+        }
+    }
+
+    /// All three.
+    pub fn all() -> [Dataflow; 3] {
+        [Dataflow::Ws, Dataflow::Is, Dataflow::Os]
+    }
+}
+
+/// The mapping of a convolution onto the array for one dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Dimension mapped on rows (`D1`).
+    pub d1: usize,
+    /// Dimension mapped on columns (`D2`).
+    pub d2: usize,
+    /// Elements streamed through per pass.
+    pub stream: usize,
+    /// Whether two operands stream together (OS).
+    pub double_stream: bool,
+}
+
+/// Computes the row/column/stream mapping for a dataflow (§VI-E's
+/// `D1`, `D2` definitions).
+pub fn mapping(conv: ConvShape, df: Dataflow) -> Mapping {
+    match df {
+        Dataflow::Ws => Mapping { d1: conv.k(), d2: conv.n, stream: conv.e(), double_stream: false },
+        Dataflow::Is => Mapping { d1: conv.k(), d2: conv.e(), stream: conv.n, double_stream: false },
+        Dataflow::Os => Mapping { d1: conv.n, d2: conv.k(), stream: conv.e(), double_stream: true },
+    }
+}
+
+/// Result of one analytical simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSimResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Fold counts `(Fr, Fc)`; their product is the paper's loop-iteration
+    /// count `⌈D1/Ah⌉·⌈D2/Aw⌉` (Fig. 12c–e).
+    pub folds: (usize, usize),
+    /// Bytes of ifmap read from SRAM.
+    pub ifmap_read_bytes: u64,
+    /// Bytes of weights read from SRAM.
+    pub weight_read_bytes: u64,
+    /// Bytes of ofmap written to SRAM.
+    pub ofmap_write_bytes: u64,
+    /// Average SRAM ofmap write bandwidth, bytes/cycle (Fig. 9b/d).
+    pub avg_ofmap_write_bw: f64,
+    /// Average SRAM read bandwidth (ifmap + weights), bytes/cycle.
+    pub avg_read_bw: f64,
+    /// Array utilisation: MACs performed / (cycles × PEs).
+    pub utilization: f64,
+}
+
+/// Bytes per data element (32-bit values throughout the evaluation).
+pub const ELEM_BYTES: u64 = 4;
+
+/// Runs the analytical model.
+///
+/// # Panics
+///
+/// Panics if the filter does not fit in the input or the array is empty.
+pub fn scale_sim(array: ArrayShape, conv: ConvShape, df: Dataflow) -> ScaleSimResult {
+    assert!(conv.valid(), "filter must fit in the input");
+    assert!(array.rows > 0 && array.cols > 0, "array must be non-empty");
+    let map = mapping(conv, df);
+    let fr = map.d1.div_ceil(array.rows);
+    let fc = map.d2.div_ceil(array.cols);
+
+    let mut cycles = 0u64;
+    let mut ifmap_read = 0u64;
+    let mut weight_read = 0u64;
+    let mut ofmap_write = 0u64;
+
+    for fi in 0..fr {
+        let ru = used(map.d1, array.rows, fi);
+        for fj in 0..fc {
+            let cu = used(map.d2, array.cols, fj);
+            // Stationary load: ru×cu elements enter column-parallel.
+            let load = (ru * cu).div_ceil(array.cols) as u64;
+            // Stream with pipeline fill and drain. OS accumulates in
+            // place and drains its ru outputs per column afterwards.
+            let stream = if map.double_stream { 2 * map.stream } else { map.stream } as u64;
+            let drain = if map.double_stream { ru as u64 } else { 0 };
+            let pass = stream + ru as u64 + cu as u64 - 1 + drain;
+            cycles += load + pass;
+
+            // First-order SRAM traffic per pass.
+            match df {
+                Dataflow::Ws => {
+                    weight_read += (ru * cu) as u64 * ELEM_BYTES;
+                    ifmap_read += (map.stream * ru) as u64 * ELEM_BYTES;
+                    ofmap_write += (map.stream * cu) as u64 * ELEM_BYTES;
+                }
+                Dataflow::Is => {
+                    ifmap_read += (ru * cu) as u64 * ELEM_BYTES;
+                    weight_read += (map.stream * ru) as u64 * ELEM_BYTES;
+                    ofmap_write += (map.stream * cu) as u64 * ELEM_BYTES;
+                }
+                Dataflow::Os => {
+                    // Both ifmaps and weights stream in; outputs drain once.
+                    ifmap_read += (map.stream * ru) as u64 * ELEM_BYTES;
+                    weight_read += (map.stream * cu) as u64 * ELEM_BYTES;
+                    ofmap_write += (ru * cu) as u64 * ELEM_BYTES;
+                }
+            }
+        }
+    }
+
+    let total_macs = (conv.e() * conv.n * conv.k()) as f64;
+    let pes = (array.rows * array.cols) as f64;
+    ScaleSimResult {
+        cycles,
+        folds: (fr, fc),
+        ifmap_read_bytes: ifmap_read,
+        weight_read_bytes: weight_read,
+        ofmap_write_bytes: ofmap_write,
+        avg_ofmap_write_bw: ofmap_write as f64 / cycles.max(1) as f64,
+        avg_read_bw: (ifmap_read + weight_read) as f64 / cycles.max(1) as f64,
+        utilization: total_macs / (cycles.max(1) as f64 * pes),
+    }
+}
+
+/// Rows/columns used in fold `index` of a dimension of size `dim` on an
+/// array of `avail`.
+fn used(dim: usize, avail: usize, index: usize) -> usize {
+    let remaining = dim - index * avail;
+    remaining.min(avail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A4: ArrayShape = ArrayShape { rows: 4, cols: 4 };
+
+    #[test]
+    fn mapping_dimensions_follow_the_paper() {
+        let conv = ConvShape::square(8, 2, 3, 5);
+        // K = 12, E = 49, N = 5.
+        let ws = mapping(conv, Dataflow::Ws);
+        assert_eq!((ws.d1, ws.d2, ws.stream), (12, 5, 49));
+        let is = mapping(conv, Dataflow::Is);
+        assert_eq!((is.d1, is.d2, is.stream), (12, 49, 5));
+        let os = mapping(conv, Dataflow::Os);
+        assert_eq!((os.d1, os.d2, os.stream), (5, 12, 49));
+        assert!(os.double_stream);
+    }
+
+    #[test]
+    fn fold_counts() {
+        let conv = ConvShape::square(8, 2, 3, 5); // K=12, N=5
+        let r = scale_sim(A4, conv, Dataflow::Ws);
+        assert_eq!(r.folds, (3, 2));
+        let r = scale_sim(ArrayShape { rows: 16, cols: 8 }, conv, Dataflow::Ws);
+        assert_eq!(r.folds, (1, 1));
+    }
+
+    #[test]
+    fn single_fold_cycle_formula() {
+        // K=4 fits rows, N=4 fits cols: one fold.
+        let conv = ConvShape { h: 5, w: 5, fh: 2, fw: 2, c: 1, n: 4 };
+        let r = scale_sim(A4, conv, Dataflow::Ws);
+        // load = ceil(4*4/4) = 4; stream = E = 16; pass = 16+4+4-1 = 23.
+        assert_eq!(r.cycles, 4 + 23);
+    }
+
+    #[test]
+    fn os_streams_twice_and_drains() {
+        let conv = ConvShape { h: 5, w: 5, fh: 2, fw: 2, c: 1, n: 4 };
+        // OS: d1 = N = 4, d2 = K = 4, stream = E = 16 doubled, plus a
+        // 4-cycle output drain.
+        let r = scale_sim(A4, conv, Dataflow::Os);
+        assert_eq!(r.cycles, 4 + 2 * 16 + 4 + 4 - 1 + 4);
+    }
+
+    #[test]
+    fn cycles_grow_with_ifmap() {
+        let mut last = 0;
+        for hw in [4, 8, 16, 32] {
+            let r = scale_sim(A4, ConvShape::square(hw, 2, 3, 1), Dataflow::Ws);
+            assert!(r.cycles > last, "hw={hw}");
+            last = r.cycles;
+        }
+    }
+
+    #[test]
+    fn ws_has_lowest_read_bandwidth() {
+        // The paper's Fig. 12b observation: OS has the highest read
+        // bandwidth overhead, WS the least.
+        let conv = ConvShape::square(16, 3, 3, 8);
+        let ws = scale_sim(A4, conv, Dataflow::Ws);
+        let os = scale_sim(A4, conv, Dataflow::Os);
+        assert!(ws.avg_read_bw < os.avg_read_bw);
+    }
+
+    #[test]
+    fn os_shortest_runtime_on_skinny_arrays() {
+        // Fig. 12a observation: OS attains the shortest cycle counts in
+        // part of the sweep. Under the paper's OS mapping (D1 = N,
+        // D2 = Fh·Fw·C), that happens on tall-K, small-N problems mapped
+        // to short-and-wide arrays, where WS folds K over the rows but OS
+        // does not.
+        let array = ArrayShape { rows: 2, cols: 32 };
+        let conv = ConvShape { h: 7, w: 7, fh: 4, fw: 4, c: 3, n: 2 }; // K=48
+        let ws = scale_sim(array, conv, Dataflow::Ws);
+        let os = scale_sim(array, conv, Dataflow::Os);
+        assert!(os.cycles < ws.cycles, "os={} ws={}", os.cycles, ws.cycles);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for df in Dataflow::all() {
+            let r = scale_sim(A4, ConvShape::square(8, 2, 3, 4), df);
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0, "{df:?}");
+        }
+    }
+
+    #[test]
+    fn traffic_accounting_ws() {
+        // One fold: weights ru*cu once, ifmap E*ru, ofmap E*cu.
+        let conv = ConvShape { h: 5, w: 5, fh: 2, fw: 2, c: 1, n: 4 };
+        let r = scale_sim(A4, conv, Dataflow::Ws);
+        assert_eq!(r.weight_read_bytes, 16 * ELEM_BYTES);
+        assert_eq!(r.ifmap_read_bytes, (16 * 4) as u64 * ELEM_BYTES);
+        assert_eq!(r.ofmap_write_bytes, (16 * 4) as u64 * ELEM_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter must fit")]
+    fn rejects_oversized_filter() {
+        scale_sim(A4, ConvShape::square(2, 3, 1, 1), Dataflow::Ws);
+    }
+
+    #[test]
+    fn loop_iteration_rule_matches_folds() {
+        // Fig. 12c–e: iterations = ⌈D1/Ah⌉ × ⌈D2/Aw⌉.
+        for df in Dataflow::all() {
+            for ah in [2usize, 4, 8] {
+                let array = ArrayShape { rows: ah, cols: 64 / ah };
+                let conv = ConvShape::square(8, 2, 4, 8);
+                let m = mapping(conv, df);
+                let r = scale_sim(array, conv, df);
+                assert_eq!(
+                    r.folds.0 * r.folds.1,
+                    m.d1.div_ceil(array.rows) * m.d2.div_ceil(array.cols)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's §III-B data-movement examples: the same copy expressed as
+//! kernel-driven reads/writes (Fig. 4a) and as a DMA memcpy (Fig. 4b),
+//! plus connection-mediated transfers between two memories (Fig. 3).
+
+use equeue::prelude::*;
+use equeue::sim::TensorData;
+use equeue_ir::ValueId;
+
+/// Two SRAM memories joined by a 32 B/cycle streaming connection, with a
+/// 64-element buffer in each (§III-B's running example).
+fn two_memories() -> (Module, ValueId, ValueId, ValueId, ValueId, ValueId) {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let kernel = b.create_proc(kinds::ARM_R5);
+    let mem0 = b.create_mem(kinds::SRAM, &[4096], 32, 4);
+    let mem1 = b.create_mem(kinds::SRAM, &[4096], 32, 4);
+    let conn = b.create_connection(ConnKind::Streaming, 32);
+    let buffer0 = b.alloc(mem0, &[64], Type::I32);
+    let buffer1 = b.alloc(mem1, &[64], Type::I32);
+    // Pre-fill buffer0 with recognisable data.
+    for i in 0..4 {
+        let v = b.const_int(100 + i, Type::I32);
+        let idx = b.const_index(i);
+        b.write_indexed(v, buffer0, vec![idx], None);
+    }
+    let start = b.control_start();
+    (m, kernel, conn, buffer0, buffer1, start)
+}
+
+#[test]
+fn kernel_driven_copy_fig4a() {
+    // Fig. 4a: the kernel itself reads buffer0 and writes buffer1 through
+    // the connection.
+    let (mut m, kernel, conn, buffer0, buffer1, start) = two_memories();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let l = b.launch(start, kernel, &[buffer0, buffer1, conn], vec![]);
+    {
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        let data = ib.read(l.body_args[0], Some(l.body_args[2]));
+        ib.write(data, l.body_args[1], Some(l.body_args[2]));
+        ib.ret(vec![]);
+    }
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+
+    verify_module(&m, &standard_registry()).unwrap();
+    let report = simulate(&m).unwrap();
+    // 64 elems over 4 banks = 16 cycles per leg; the kernel serialises
+    // read then write (it holds the data in between): 32 cycles total.
+    // The four writes that pre-fill buffer0 add 4 cycles up front.
+    assert_eq!(report.cycles, 4 + 16 + 16);
+    // Data arrived.
+    match &report.buffers[1].data.data {
+        TensorData::Int(v) => {
+            assert_eq!(&v[..4], &[100, 101, 102, 103]);
+            assert!(v[4..].iter().all(|&x| x == 0));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Connection stats saw both directions.
+    let c = &report.connections[0];
+    assert_eq!(c.read.bytes, 256);
+    assert_eq!(c.write.bytes, 256);
+}
+
+#[test]
+fn dma_driven_copy_fig4b() {
+    // Fig. 4b: the DMA engine performs the copy; the kernel only issues it.
+    let (mut m, kernel, conn, buffer0, buffer1, start) = two_memories();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let dma = b.create_dma();
+    let l = b.launch(start, kernel, &[buffer0, buffer1], vec![]);
+    let (dma_v, conn_v) = (dma, conn);
+    {
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        let inner_start = ib.control_start();
+        let copied = ib.memcpy(inner_start, l.body_args[0], l.body_args[1], dma_v, Some(conn_v));
+        ib.await_all(vec![copied]);
+        ib.ret(vec![]);
+    }
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+
+    verify_module(&m, &standard_registry()).unwrap();
+    let report = simulate(&m).unwrap();
+    // The DMA pipelines read, transfer, and write: max(16, 8, 16) = 16
+    // cycles (plus the 4-cycle pre-fill) — half the kernel-driven copy.
+    assert_eq!(report.cycles, 4 + 16);
+    match &report.buffers[1].data.data {
+        TensorData::Int(v) => assert_eq!(&v[..4], &[100, 101, 102, 103]),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn dealloc_frees_for_reuse_fig3() {
+    // §III-B ends by deallocating both buffers; capacity returns.
+    let (mut m, _kernel, _conn, buffer0, buffer1, _start) = two_memories();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.dealloc(buffer0);
+    b.dealloc(buffer1);
+    // Re-allocate the full capacity: only possible if dealloc worked.
+    let mem0 = m.result(m.find_first("equeue.create_mem").unwrap(), 0);
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.alloc(mem0, &[4096], Type::I32);
+    assert!(simulate(&m).is_ok());
+}
+
+#[test]
+fn bandwidth_throttles_the_same_copy() {
+    // Narrowing the connection from 32 B/cyc to 8 B/cyc makes the transfer
+    // connection-bound: 256 B / 8 = 32 cycles per leg.
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let kernel = b.create_proc(kinds::ARM_R5);
+    let mem0 = b.create_mem(kinds::SRAM, &[4096], 32, 4);
+    let buffer0 = b.alloc(mem0, &[64], Type::I32);
+    let conn = b.create_connection(ConnKind::Streaming, 8);
+    let start = b.control_start();
+    let l = b.launch(start, kernel, &[buffer0, conn], vec![]);
+    {
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        ib.read(l.body_args[0], Some(l.body_args[1]));
+        ib.ret(vec![]);
+    }
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+    let report = simulate(&m).unwrap();
+    assert_eq!(report.cycles, 32);
+    assert!((report.connections[0].read.max_bw - 8.0).abs() < 1e-9);
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the simulation engine's core invariants:
+//! event-chain timing is compositional, parallel launches overlap,
+//! signal combinators honour max/min semantics, and simulation is
+//! deterministic.
+
+use equeue::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a chain of `lens[i]`-cycle launches on one processor; the total
+/// must be the sum.
+fn chain_cycles(lens: &[u64]) -> u64 {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pe = b.create_proc(kinds::MAC);
+    let mut dep = b.control_start();
+    for &len in lens {
+        let l = b.launch(dep, pe, &[], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.op("equeue.op")
+                .attr("signature", "work")
+                .attr("cycles", len as i64)
+                .finish();
+            ib.ret(vec![]);
+        }
+        dep = l.done;
+        b = OpBuilder::at_end(&mut m, blk);
+    }
+    b.await_all(vec![dep]);
+    simulate(&m).unwrap().cycles
+}
+
+/// Builds independent launches of `lens[i]` cycles on separate processors;
+/// the total must be the max.
+fn parallel_cycles(lens: &[u64]) -> u64 {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let start = b.control_start();
+    let mut dones = vec![];
+    for &len in lens {
+        let pe = b.create_proc(kinds::MAC);
+        let l = b.launch(start, pe, &[], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.op("equeue.op")
+                .attr("signature", "work")
+                .attr("cycles", len as i64)
+                .finish();
+            ib.ret(vec![]);
+        }
+        dones.push(l.done);
+        b = OpBuilder::at_end(&mut m, blk);
+    }
+    let all = b.control_and(dones);
+    b.await_all(vec![all]);
+    simulate(&m).unwrap().cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chains_sum(lens in proptest::collection::vec(0u64..50, 1..12)) {
+        let total: u64 = lens.iter().sum();
+        prop_assert_eq!(chain_cycles(&lens), total);
+    }
+
+    #[test]
+    fn parallel_takes_max(lens in proptest::collection::vec(0u64..50, 1..8)) {
+        let max = lens.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(parallel_cycles(&lens), max);
+    }
+
+    #[test]
+    fn fifo_on_one_proc_sums_even_with_shared_dep(lens in proptest::collection::vec(1u64..20, 1..8)) {
+        // All launches depend on the same start signal but share one
+        // processor: the queue serialises them (§III-D: "each processor
+        // only executes one event at a time").
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let start = b.control_start();
+        let mut dones = vec![];
+        for &len in &lens {
+            let l = b.launch(start, pe, &[], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                ib.op("equeue.op").attr("signature", "w").attr("cycles", len as i64).finish();
+                ib.ret(vec![]);
+            }
+            dones.push(l.done);
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        let all = b.control_and(dones);
+        b.await_all(vec![all]);
+        let total: u64 = lens.iter().sum();
+        prop_assert_eq!(simulate(&m).unwrap().cycles, total);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(lens in proptest::collection::vec(0u64..30, 1..6)) {
+        prop_assert_eq!(parallel_cycles(&lens), parallel_cycles(&lens));
+        prop_assert_eq!(chain_cycles(&lens), chain_cycles(&lens));
+    }
+
+    #[test]
+    fn control_or_fires_at_min_and_at_max(lens in proptest::collection::vec(1u64..40, 2..6)) {
+        // Launches of different lengths on separate PEs; awaiting the OR
+        // ends at min, awaiting the AND at max — total runtime is still
+        // max (all launches run to completion).
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let start = b.control_start();
+        let mut dones = vec![];
+        for &len in &lens {
+            let pe = b.create_proc(kinds::MAC);
+            let l = b.launch(start, pe, &[], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                ib.op("equeue.op").attr("signature", "w").attr("cycles", len as i64).finish();
+                ib.ret(vec![]);
+            }
+            dones.push(l.done);
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        let any = b.control_or(dones.clone());
+        let all = b.control_and(dones);
+        b.await_all(vec![any, all]);
+        let cycles = simulate(&m).unwrap().cycles;
+        prop_assert_eq!(cycles, lens.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn sram_reads_cost_ceil_elems_over_banks(elems in 1usize..64, banks in 1u32..8) {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let mem = b.create_mem(kinds::SRAM, &[elems], 32, banks);
+        let buf = b.alloc(mem, &[elems], Type::I32);
+        let start = b.control_start();
+        let l = b.launch(start, pe, &[buf], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.read(l.body_args[0], None);
+            ib.ret(vec![]);
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+        let cycles = simulate(&m).unwrap().cycles;
+        prop_assert_eq!(cycles, (elems as u64).div_ceil(banks as u64));
+    }
+}
+
+#[test]
+fn systolic_always_at_least_ideal_cycles() {
+    // For any config, simulated cycles ≥ MACs / PEs (no free lunch).
+    use equeue::dialect::ConvDims;
+    use equeue::gen::{generate_systolic, SystolicSpec};
+    for (ah, hw, f, n) in [(2usize, 8usize, 2usize, 4usize), (4, 8, 3, 2), (8, 16, 2, 8)] {
+        let dims = ConvDims::square(hw, f, 2, n);
+        for df in [Dataflow::Ws, Dataflow::Is, Dataflow::Os] {
+            let spec = SystolicSpec { rows: ah, cols: 64 / ah, dataflow: df };
+            let prog = generate_systolic(&spec, dims);
+            let cycles = simulate(&prog.module).unwrap().cycles;
+            let ideal = (dims.macs() / (ah * (64 / ah))) as u64;
+            assert!(cycles >= ideal.min(1), "{df:?} ah={ah} hw={hw}: {cycles} < {ideal}");
+        }
+    }
+}
