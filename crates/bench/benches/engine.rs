@@ -1,7 +1,10 @@
 //! Micro-benchmarks of the simulation substrate: signal cascades, event
 //! queue throughput, printer/parser round-trips.
+//!
+//! Self-timed (`equeue_bench::timing`) — see crates/bench/Cargo.toml for why
+//! these are not Criterion benches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equeue_bench::timing::time;
 use equeue_core::{simulate, SignalTable};
 use equeue_dialect::{kinds, EqueueBuilder};
 use equeue_ir::{parse_module, print_module, Module, OpBuilder};
@@ -27,38 +30,26 @@ fn chain_module(n: usize) -> Module {
     m
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
-
-    g.bench_function("event_chain_1000", |b| {
-        let m = chain_module(1000);
-        b.iter(|| simulate(black_box(&m)).unwrap().cycles)
+fn main() {
+    let m = chain_module(1000);
+    time("engine/event_chain_1000", 20, || {
+        simulate(black_box(&m)).unwrap().cycles
     });
 
-    g.bench_function("signal_cascade_10000", |b| {
-        b.iter(|| {
-            let mut t = SignalTable::new();
-            let leaves: Vec<_> = (0..10_000).map(|_| t.fresh()).collect();
-            let _and = t.new_and(&leaves);
-            for (i, &l) in leaves.iter().enumerate() {
-                t.resolve(l, i as u64, vec![]);
-            }
-            t.len()
-        })
+    time("engine/signal_cascade_10000", 20, || {
+        let mut t = SignalTable::new();
+        let leaves: Vec<_> = (0..10_000).map(|_| t.fresh()).collect();
+        let _and = t.new_and(&leaves);
+        for (i, &l) in leaves.iter().enumerate() {
+            t.resolve(l, i as u64, vec![]);
+        }
+        t.len()
     });
 
-    g.bench_function("print_parse_roundtrip", |b| {
-        let m = chain_module(100);
-        let text = print_module(&m);
-        b.iter(|| {
-            let parsed = parse_module(black_box(&text)).unwrap();
-            print_module(&parsed).len()
-        })
+    let m = chain_module(100);
+    let text = print_module(&m);
+    time("engine/print_parse_roundtrip", 20, || {
+        let parsed = parse_module(black_box(&text)).unwrap();
+        print_module(&parsed).len()
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,36 +1,31 @@
-//! Criterion bench for the Fig. 9 comparison: one EQueue systolic
-//! simulation and the SCALE-Sim analytical baseline on the same workload.
+//! Bench for the Fig. 9 comparison: one EQueue systolic simulation and the
+//! SCALE-Sim analytical baseline on the same workload. Self-timed — see
+//! crates/bench/Cargo.toml.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equeue_bench::timing::time;
 use equeue_bench::{run_quiet, to_conv_shape, to_scalesim};
 use equeue_dialect::ConvDims;
 use equeue_gen::{generate_systolic, SystolicSpec};
 use equeue_passes::Dataflow;
 use std::hint::black_box;
 
-fn bench_fig09(c: &mut Criterion) {
+fn main() {
     let dims = ConvDims::square(16, 2, 3, 1);
-    let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
-    let mut g = c.benchmark_group("fig09");
-    g.sample_size(20);
-    g.bench_function("equeue_16x16_ws", |b| {
-        b.iter(|| {
-            let prog = generate_systolic(black_box(&spec), black_box(dims));
-            run_quiet(&prog.module).cycles
-        })
+    let spec = SystolicSpec {
+        rows: 4,
+        cols: 4,
+        dataflow: Dataflow::Ws,
+    };
+    time("fig09/equeue_16x16_ws", 20, || {
+        let prog = generate_systolic(black_box(&spec), black_box(dims));
+        run_quiet(&prog.module).cycles
     });
-    g.bench_function("scalesim_16x16_ws", |b| {
-        b.iter(|| {
-            scalesim::scale_sim(
-                scalesim::ArrayShape { rows: 4, cols: 4 },
-                black_box(to_conv_shape(dims)),
-                to_scalesim(Dataflow::Ws),
-            )
-            .cycles
-        })
+    time("fig09/scalesim_16x16_ws", 20, || {
+        scalesim::scale_sim(
+            scalesim::ArrayShape { rows: 4, cols: 4 },
+            black_box(to_conv_shape(dims)),
+            to_scalesim(Dataflow::Ws),
+        )
+        .cycles
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig09);
-criterion_main!(benches);

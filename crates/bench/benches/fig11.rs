@@ -1,28 +1,20 @@
-//! Criterion bench for the Fig. 11 pipeline: simulation cost per lowering
-//! stage (the paper's "execution time grows as models get more detailed").
+//! Bench for the Fig. 11 pipeline: simulation cost per lowering stage (the
+//! paper's "execution time grows as models get more detailed"). Self-timed —
+//! see crates/bench/Cargo.toml.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use equeue_bench::run_quiet;
+use equeue_bench::timing::time;
 use equeue_dialect::ConvDims;
 use equeue_gen::{build_stage_program, Stage};
 use equeue_passes::Dataflow;
 use std::hint::black_box;
 
-fn bench_fig11(c: &mut Criterion) {
+fn main() {
     let dims = ConvDims::square(6, 3, 3, 4);
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(15);
     for stage in Stage::all() {
-        g.bench_function(stage.as_str(), |b| {
-            b.iter(|| {
-                let prog =
-                    build_stage_program(black_box(stage), black_box(dims), (4, 4), Dataflow::Ws);
-                run_quiet(&prog.module).cycles
-            })
+        time(&format!("fig11/{}", stage.as_str()), 15, || {
+            let prog = build_stage_program(black_box(stage), black_box(dims), (4, 4), Dataflow::Ws);
+            run_quiet(&prog.module).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig11);
-criterion_main!(benches);

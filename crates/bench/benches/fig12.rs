@@ -1,34 +1,33 @@
-//! Criterion bench for the Fig. 12 sweep machinery: one small and one
-//! large configuration point.
+//! Bench for the Fig. 12 sweep machinery: one small and one large
+//! configuration point, plus the wave-vs-per-element fidelity ablation.
+//! Self-timed — see crates/bench/Cargo.toml.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use equeue_bench::timing::time;
 use equeue_bench::{fig12_point, run_quiet};
 use equeue_dialect::ConvDims;
 use equeue_gen::{generate_systolic, generate_systolic_detailed, SystolicSpec};
 use equeue_passes::Dataflow;
 use std::hint::black_box;
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(15);
-    g.bench_function("small_point", |b| {
-        b.iter(|| fig12_point(black_box(4), 8, 2, 2, 4, Dataflow::Ws).cycles)
+fn main() {
+    time("fig12/small_point", 15, || {
+        fig12_point(black_box(4), 8, 2, 2, 4, Dataflow::Ws).cycles
     });
-    g.bench_function("large_point", |b| {
-        b.iter(|| fig12_point(black_box(2), 32, 4, 4, 32, Dataflow::Os).cycles)
+    time("fig12/large_point", 15, || {
+        fig12_point(black_box(2), 32, 4, 4, 32, Dataflow::Os).cycles
     });
     // The fidelity ablation: the same configuration at wave vs per-element
     // granularity — identical cycles, very different simulation cost.
-    let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+    let spec = SystolicSpec {
+        rows: 4,
+        cols: 4,
+        dataflow: Dataflow::Ws,
+    };
     let dims = ConvDims::square(8, 2, 3, 2);
-    g.bench_function("fidelity_wave", |b| {
-        b.iter(|| run_quiet(&generate_systolic(black_box(&spec), dims).module).cycles)
+    time("fig12/fidelity_wave", 15, || {
+        run_quiet(&generate_systolic(black_box(&spec), dims).module).cycles
     });
-    g.bench_function("fidelity_per_element", |b| {
-        b.iter(|| run_quiet(&generate_systolic_detailed(black_box(&spec), dims).module).cycles)
+    time("fig12/fidelity_per_element", 15, || {
+        run_quiet(&generate_systolic_detailed(black_box(&spec), dims).module).cycles
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig12);
-criterion_main!(benches);

@@ -1,25 +1,18 @@
-//! Criterion bench for the §VII FIR cases (generation + simulation). The
-//! paper reports 0.07 s for the 4-core case vs 8 minutes for the Xilinx
-//! AIE simulator; this tracks our end-to-end time per case.
+//! Bench for the §VII FIR cases (generation + simulation). The paper
+//! reports 0.07 s for the 4-core case vs 8 minutes for the Xilinx AIE
+//! simulator; this tracks our end-to-end time per case. Self-timed — see
+//! crates/bench/Cargo.toml.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use equeue_bench::run_quiet;
+use equeue_bench::timing::time;
 use equeue_gen::{generate_fir, FirCase, FirSpec};
 use std::hint::black_box;
 
-fn bench_fir(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fir");
-    g.sample_size(20);
+fn main() {
     for case in FirCase::all() {
-        g.bench_function(case.as_str(), |b| {
-            b.iter(|| {
-                let prog = generate_fir(black_box(FirSpec::default()), case);
-                run_quiet(&prog.module).cycles
-            })
+        time(&format!("fir/{}", case.as_str()), 20, || {
+            let prog = generate_fir(black_box(FirSpec::default()), case);
+            run_quiet(&prog.module).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fir);
-criterion_main!(benches);

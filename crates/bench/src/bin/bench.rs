@@ -1,0 +1,160 @@
+//! The engine performance baseline: runs the fig09/fig11/fig12 and FIR
+//! scenarios plus engine-focused microworkloads, and writes
+//! `BENCH_engine.json` so successive PRs have a perf trajectory.
+//!
+//! Usage: `cargo run --release --bin bench [-- <output-path>]`
+//! (default output: `BENCH_engine.json` in the current directory).
+//!
+//! # `BENCH_engine.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": "equeue-bench-engine/v1",
+//!   "scenarios": [
+//!     {
+//!       "name": "matmul64_affine",   // scenario id, stable across PRs
+//!       "cycles": 1835008,           // simulated cycles (must not drift)
+//!       "events": 12345,             // scheduler wakes per run
+//!       "ops": 67890,                // ops interpreted per run
+//!       "iters": 5,                  // timed iterations (1 warm-up untimed)
+//!       "best_ms": 12.3,             // fastest iteration, wall ms
+//!       "mean_ms": 13.1              // mean iteration, wall ms
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `cycles`/`events`/`ops` are determinism guards: a perf PR must leave
+//! them bit-identical while driving `best_ms` down. Timings are wall-clock
+//! on whatever machine ran the bench — compare relative trends, not
+//! absolute numbers, across machines.
+
+use equeue_bench::timing::{time, Sample};
+use equeue_bench::{fig12_sweep, run_quiet, scenarios};
+use equeue_core::{simulate_with, SimLibrary, SimOptions, SimReport};
+use equeue_dialect::ConvDims;
+use equeue_gen::{
+    build_stage_program, generate_fir, generate_systolic, FirCase, FirSpec, Stage, SystolicSpec,
+};
+use equeue_ir::Module;
+use equeue_passes::Dataflow;
+use std::fmt::Write as _;
+
+/// One scenario's measurement: the timing sample plus determinism guards.
+struct Row {
+    sample: Sample,
+    cycles: u64,
+    events: u64,
+    ops: u64,
+}
+
+/// Times `iters` quiet simulations of `module` and records the report
+/// counters of the last run.
+fn sim_row(name: &str, iters: u32, module: &Module) -> Row {
+    let lib = SimLibrary::standard();
+    let opts = SimOptions {
+        trace: false,
+        ..Default::default()
+    };
+    let run = || simulate_with(module, &lib, &opts).expect("simulation");
+    let report: SimReport = run();
+    let sample = time(name, iters, || run().cycles);
+    Row {
+        sample,
+        cycles: report.cycles,
+        events: report.events_processed,
+        ops: report.ops_interpreted,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut rows: Vec<Row> = vec![];
+
+    // Figure scenarios: one representative point each (generation outside
+    // the timed loop — this benchmarks the engine, not the generators).
+    let fig09 = generate_systolic(
+        &SystolicSpec {
+            rows: 4,
+            cols: 4,
+            dataflow: Dataflow::Ws,
+        },
+        ConvDims::square(16, 2, 3, 1),
+    );
+    rows.push(sim_row("fig09_16x16_ws", 10, &fig09.module));
+
+    let fig11 = build_stage_program(
+        Stage::all()[Stage::all().len() - 1],
+        ConvDims::square(6, 3, 3, 4),
+        (4, 4),
+        Dataflow::Ws,
+    );
+    rows.push(sim_row("fig11_last_stage_6x6", 10, &fig11.module));
+
+    let fir = generate_fir(FirSpec::default(), FirCase::Balanced4);
+    rows.push(sim_row("fir_balanced4", 10, &fir.module));
+
+    // The fig12 subsampled sweep end-to-end (generation + simulation for
+    // every config) — the scenario later scaling PRs (sharding, batching)
+    // will parallelise.
+    {
+        let mut guard = (0u64, 0u64, 0u64);
+        let sample = time("fig12_small_sweep", 3, || {
+            let rows = fig12_sweep(false);
+            guard = rows
+                .iter()
+                .fold((0, 0, 0), |acc, r| (acc.0 + r.cycles, acc.1, acc.2));
+            rows.len()
+        });
+        rows.push(Row {
+            sample,
+            cycles: guard.0,
+            events: 0,
+            ops: 0,
+        });
+    }
+
+    // Engine microworkloads.
+    rows.push(sim_row(
+        "matmul64_linalg",
+        10,
+        &scenarios::matmul_linalg(64),
+    ));
+    rows.push(sim_row("matmul64_affine", 5, &scenarios::matmul_affine(64)));
+    rows.push(sim_row(
+        "tensor_stream_256x128",
+        10,
+        &scenarios::tensor_stream(256, 128),
+    ));
+
+    // Emit JSON (hand-rolled: the workspace has no serde).
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"equeue-bench-engine/v1\",\n  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"events\": {}, \"ops\": {}, \
+             \"iters\": {}, \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}{}",
+            r.sample.name,
+            r.cycles,
+            r.events,
+            r.ops,
+            r.sample.iters,
+            r.sample.best_ms,
+            r.sample.mean_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    // Quiet-run sanity: every scenario simulated deterministically.
+    let check = run_quiet(&scenarios::matmul_linalg(8));
+    assert!(check.cycles > 0);
+}

@@ -37,5 +37,8 @@ fn main() {
         .chain(&c)
         .map(Fig09Row::cycle_error)
         .fold(0.0f64, f64::max);
-    println!("\nworst-case cycle disagreement: {:.2}% (paper reports a match)", worst * 100.0);
+    println!(
+        "\nworst-case cycle disagreement: {:.2}% (paper reports a match)",
+        worst * 100.0
+    );
 }

@@ -17,11 +17,27 @@ fn main() {
     println!(
         "Fig. 12 — scalability sweep over {} configurations ({})",
         configs.len(),
-        if full { "full grid" } else { "subsample; pass --full for the paper's grid" },
+        if full {
+            "full grid"
+        } else {
+            "subsample; pass --full for the paper's grid"
+        },
     );
     println!(
         "{:>3}x{:<3} {:>4} {:>2} {:>2} {:>3} {:>3} | {:>10} {:>10} {:>7} | {:>11} | {:>9} | {:>6}",
-        "Ah", "Aw", "H/W", "F", "C", "N", "df", "EQ cycles", "SS cycles", "err", "exec time", "pkBWxP", "iters"
+        "Ah",
+        "Aw",
+        "H/W",
+        "F",
+        "C",
+        "N",
+        "df",
+        "EQ cycles",
+        "SS cycles",
+        "err",
+        "exec time",
+        "pkBWxP",
+        "iters"
     );
     println!("{}", "-".repeat(108));
 
@@ -57,8 +73,10 @@ fn main() {
         // Fig. 12c–e: cycles per loop iteration should be roughly constant
         // for a fixed stream length; report the correlation via the ratio
         // spread instead of a full regression.
-        let ratios: Vec<f64> =
-            sel.iter().map(|r| r.cycles as f64 / r.loop_iterations.max(1) as f64).collect();
+        let ratios: Vec<f64> = sel
+            .iter()
+            .map(|r| r.cycles as f64 / r.loop_iterations.max(1) as f64)
+            .collect();
         let mean_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
         println!(
             "  {}: {:>4} points, min cycles {:>7}, mean peak-write-BWxportion {:>7.3}, \

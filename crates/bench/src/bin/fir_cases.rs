@@ -20,7 +20,9 @@ fn main() {
             r.case.as_str(),
             r.cycles,
             r.paper_cycles,
-            r.xilinx_cycles.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            r.xilinx_cycles
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.execution_time,
         );
     }

@@ -32,8 +32,8 @@ fn dataflow_specific_loc(source: &str) -> usize {
 
 fn main() {
     let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let systolic_src = fs::read_to_string(manifest.join("../gen/src/systolic.rs"))
-        .expect("read generator source");
+    let systolic_src =
+        fs::read_to_string(manifest.join("../gen/src/systolic.rs")).expect("read generator source");
     let scalesim_src =
         fs::read_to_string(manifest.join("../scalesim/src/lib.rs")).expect("read baseline source");
 
@@ -73,7 +73,14 @@ fn main() {
         );
     }
     for f in [2usize, 4, 8, 16, 32] {
-        let dims = ConvDims { h: 32, w: 32, fh: f, fw: f, c: 3, n: 1 };
+        let dims = ConvDims {
+            h: 32,
+            w: 32,
+            fh: f,
+            fw: f,
+            c: 3,
+            n: 1,
+        };
         scalesim::scale_sim(
             scalesim::ArrayShape { rows: 4, cols: 4 },
             to_conv_shape(dims),
@@ -81,7 +88,10 @@ fn main() {
         );
     }
     let scalesim_time = t1.elapsed();
-    println!("simulation wall-clock on the Fig. 9 workloads ({} points):", rows_a.len() + rows_c.len());
+    println!(
+        "simulation wall-clock on the Fig. 9 workloads ({} points):",
+        rows_a.len() + rows_c.len()
+    );
     println!("  EQueue discrete-event simulation : {equeue_time:.2?}");
     println!("  SCALE-Sim-style analytical model : {scalesim_time:.2?}");
 }

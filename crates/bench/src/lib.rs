@@ -27,14 +27,28 @@ pub fn to_scalesim(df: Dataflow) -> scalesim::Dataflow {
 
 /// Converts a [`ConvDims`] into the baseline's shape type.
 pub fn to_conv_shape(d: ConvDims) -> scalesim::ConvShape {
-    scalesim::ConvShape { h: d.h, w: d.w, fh: d.fh, fw: d.fw, c: d.c, n: d.n }
+    scalesim::ConvShape {
+        h: d.h,
+        w: d.w,
+        fh: d.fh,
+        fw: d.fw,
+        c: d.c,
+        n: d.n,
+    }
 }
 
 /// Simulates a module without tracing (sweep mode).
 pub fn run_quiet(module: &equeue_ir::Module) -> SimReport {
     let lib = SimLibrary::standard();
-    simulate_with(module, &lib, &SimOptions { trace: false, ..Default::default() })
-        .expect("simulation")
+    simulate_with(
+        module,
+        &lib,
+        &SimOptions {
+            trace: false,
+            ..Default::default()
+        },
+    )
+    .expect("simulation")
 }
 
 // ---------------------------------------------------------------------------
@@ -67,7 +81,11 @@ impl Fig09Row {
 }
 
 fn fig09_point(dims: ConvDims) -> Fig09Row {
-    let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+    let spec = SystolicSpec {
+        rows: 4,
+        cols: 4,
+        dataflow: Dataflow::Ws,
+    };
     let prog = generate_systolic(&spec, dims);
     let report = run_quiet(&prog.module);
     let ss = scalesim::scale_sim(
@@ -101,7 +119,14 @@ pub fn fig09_weight_sweep() -> Vec<Fig09Row> {
     [2usize, 4, 8, 16, 32]
         .into_iter()
         .map(|f| {
-            let dims = ConvDims { h: 32, w: 32, fh: f, fw: f, c: 3, n: 1 };
+            let dims = ConvDims {
+                h: 32,
+                w: 32,
+                fh: f,
+                fw: f,
+                c: 3,
+                n: 1,
+            };
             let mut row = fig09_point(dims);
             row.label = format!("{f}x{f}");
             row
@@ -195,22 +220,31 @@ pub struct Fig12Row {
     pub loop_iterations: usize,
 }
 
+/// One sweep coordinate: `(ah, hw, f, c, n, dataflow)`.
+pub type Fig12Config = (usize, usize, usize, usize, usize, Dataflow);
+
 /// Enumerates the sweep. `full` gives the paper's complete grid
 /// (5×5×3×3×6×3 = 4,050 candidate combinations before validity
 /// filtering); otherwise a subsample.
-pub fn fig12_configs(full: bool) -> Vec<(usize, usize, usize, usize, usize, Dataflow)> {
-    let (ahs, hws, fs, cs, ns): (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) =
-        if full {
-            (
-                vec![2, 4, 8, 16, 32],
-                vec![2, 4, 8, 16, 32],
-                vec![1, 2, 4],
-                vec![1, 2, 4],
-                vec![1, 2, 4, 8, 16, 32],
-            )
-        } else {
-            (vec![2, 8, 32], vec![4, 16], vec![1, 4], vec![1, 4], vec![1, 8, 32])
-        };
+pub fn fig12_configs(full: bool) -> Vec<Fig12Config> {
+    type Axes = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>);
+    let (ahs, hws, fs, cs, ns): Axes = if full {
+        (
+            vec![2, 4, 8, 16, 32],
+            vec![2, 4, 8, 16, 32],
+            vec![1, 2, 4],
+            vec![1, 2, 4],
+            vec![1, 2, 4, 8, 16, 32],
+        )
+    } else {
+        (
+            vec![2, 8, 32],
+            vec![4, 16],
+            vec![1, 4],
+            vec![1, 4],
+            vec![1, 8, 32],
+        )
+    };
     let mut out = vec![];
     for &ah in &ahs {
         for &hw in &hws {
@@ -234,8 +268,19 @@ pub fn fig12_configs(full: bool) -> Vec<(usize, usize, usize, usize, usize, Data
 /// Runs one sweep point.
 pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataflow) -> Fig12Row {
     let aw = 64 / ah;
-    let dims = ConvDims { h: hw, w: hw, fh: f, fw: f, c, n };
-    let spec = SystolicSpec { rows: ah, cols: aw, dataflow: df };
+    let dims = ConvDims {
+        h: hw,
+        w: hw,
+        fh: f,
+        fw: f,
+        c,
+        n,
+    };
+    let spec = SystolicSpec {
+        rows: ah,
+        cols: aw,
+        dataflow: df,
+    };
     let prog = generate_systolic(&spec, dims);
     let report = run_quiet(&prog.module);
     let ss = scalesim::scale_sim(
@@ -320,9 +365,190 @@ pub fn fir_rows() -> Vec<FirRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Engine benchmark scenarios (`src/bin/bench.rs`, BENCH_engine.json)
+// ---------------------------------------------------------------------------
+
+/// Module builders for the engine benchmark binary.
+///
+/// These exercise the engine's hot paths directly, independent of the
+/// figure-reproduction drivers: a matmul at the Linalg level (analytic), the
+/// same matmul fully lowered to affine loops (interpreter-bound — one
+/// `affine.load`/`arith` op per scalar operation), and a tensor-streaming
+/// pipeline (launch-capture and whole-tensor read/write bound).
+pub mod scenarios {
+    use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, EqueueBuilder, LinalgBuilder};
+    use equeue_ir::{Module, OpBuilder, Type};
+
+    /// An `n×n` integer matmul at the Linalg level: one analytic
+    /// `linalg.matmul` op inside a launch.
+    pub fn matmul_linalg(n: usize) -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::ARM_R5);
+        let mem = b.create_mem(kinds::SRAM, &[3 * n * n], 32, n as u32);
+        let a = b.alloc(mem, &[n, n], Type::I32);
+        let bb = b.alloc(mem, &[n, n], Type::I32);
+        let c = b.alloc(mem, &[n, n], Type::I32);
+        let start = b.control_start();
+        let l = b.launch(start, pe, &[a, bb, c], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.linalg_matmul(l.body_args[0], l.body_args[1], l.body_args[2]);
+            ib.ret(vec![]);
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+        m
+    }
+
+    /// The same `n×n` matmul lowered to affine loops: `n³` iterations of
+    /// load/load/load/mul/add/store. Interpreter-bound — this is the
+    /// "64×64 matmul lowering" scenario of the perf trajectory.
+    pub fn matmul_affine(n: usize) -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::ARM_R5);
+        let mem = b.create_mem(kinds::REGISTER, &[3 * n * n], 32, n as u32);
+        let a = b.alloc(mem, &[n, n], Type::I32);
+        let bb = b.alloc(mem, &[n, n], Type::I32);
+        let c = b.alloc(mem, &[n, n], Type::I32);
+        let start = b.control_start();
+        let l = b.launch(start, pe, &[a, bb, c], vec![]);
+        {
+            let (va, vb, vc) = (l.body_args[0], l.body_args[1], l.body_args[2]);
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            let (_, bi, i) = ib.affine_for(0, n as i64, 1);
+            let mut ib = OpBuilder::at_end(ib.module_mut(), bi);
+            let (_, bj, j) = ib.affine_for(0, n as i64, 1);
+            let mut ib = OpBuilder::at_end(ib.module_mut(), bj);
+            let (_, bk, k) = ib.affine_for(0, n as i64, 1);
+            {
+                let mut kb = OpBuilder::at_end(ib.module_mut(), bk);
+                let aik = kb.affine_load(va, vec![i, k]);
+                let bkj = kb.affine_load(vb, vec![k, j]);
+                let cij = kb.affine_load(vc, vec![i, j]);
+                let prod = kb.muli(aik, bkj);
+                let sum = kb.addi(cij, prod);
+                kb.affine_store(sum, vc, vec![i, j]);
+                kb.affine_yield();
+            }
+            let mut ib = OpBuilder::at_end(&mut m, bj);
+            ib.affine_yield();
+            let mut ib = OpBuilder::at_end(&mut m, bi);
+            ib.affine_yield();
+            let mut ib = OpBuilder::at_end(&mut m, l.body);
+            ib.ret(vec![]);
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+        m
+    }
+
+    /// A chain of `k` launches, each reading an entire `n×n` tensor out of
+    /// SRAM and writing it back. Stresses launch-env capture and
+    /// whole-tensor value movement — the copy-on-write hot path.
+    pub fn tensor_stream(n: usize, k: usize) -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let mem = b.create_mem(kinds::SRAM, &[n * n], 32, n as u32);
+        let buf = b.alloc(mem, &[n, n], Type::I32);
+        let mut dep = b.control_start();
+        for _ in 0..k {
+            let l = b.launch(dep, pe, &[buf], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                let t = ib.read(l.body_args[0], None);
+                ib.write_indexed(t, l.body_args[0], vec![], None);
+                ib.ret(vec![]);
+            }
+            dep = l.done;
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        b.await_all(vec![dep]);
+        m
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-contained timing harness
+// ---------------------------------------------------------------------------
+
+/// A minimal wall-clock timing harness shared by the `benches/` targets and
+/// the `bench` binary.
+///
+/// The workspace intentionally carries zero external dependencies (the build
+/// environment is offline), so instead of Criterion each bench target is a
+/// plain `main` that calls [`timing::time`]: warm up once, run a fixed
+/// iteration budget, report best/mean wall time. Deterministic enough for
+/// trend tracking in `BENCH_engine.json`; not a statistical framework.
+pub mod timing {
+    use std::time::Instant;
+
+    /// One measured benchmark case.
+    #[derive(Debug, Clone)]
+    pub struct Sample {
+        /// Case name (`"fig09/equeue_16x16_ws"`).
+        pub name: String,
+        /// Iterations measured (after one warm-up).
+        pub iters: u32,
+        /// Fastest single-iteration wall time, milliseconds.
+        pub best_ms: f64,
+        /// Mean single-iteration wall time, milliseconds.
+        pub mean_ms: f64,
+    }
+
+    impl Sample {
+        /// One formatted report row.
+        pub fn row(&self) -> String {
+            format!(
+                "{:<40} {:>5} iters   best {:>10.3} ms   mean {:>10.3} ms",
+                self.name, self.iters, self.best_ms, self.mean_ms
+            )
+        }
+    }
+
+    /// Times `f` over `iters` iterations (plus one untimed warm-up) and
+    /// prints the report row.
+    pub fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Sample {
+        let iters = iters.max(1);
+        std::hint::black_box(f()); // warm-up
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            best = best.min(ms);
+            total += ms;
+        }
+        let sample = Sample {
+            name: name.to_string(),
+            iters,
+            best_ms: best,
+            mean_ms: total / f64::from(iters),
+        };
+        println!("{}", sample.row());
+        sample
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timing_reports_positive_times() {
+        let s = timing::time("noop", 3, || 1 + 1);
+        assert_eq!(s.iters, 3);
+        assert!(s.best_ms >= 0.0 && s.mean_ms >= s.best_ms);
+    }
 
     #[test]
     fn fig09_equeue_tracks_scalesim() {
@@ -368,8 +594,7 @@ mod tests {
         assert_eq!(rows[1].cycles, rows[1].paper_cycles);
         assert_eq!(rows[2].cycles, rows[2].paper_cycles);
         let last = &rows[3];
-        let err = (last.cycles as f64 - last.paper_cycles as f64).abs()
-            / last.paper_cycles as f64;
+        let err = (last.cycles as f64 - last.paper_cycles as f64).abs() / last.paper_cycles as f64;
         assert!(err < 0.01);
     }
 }

@@ -20,16 +20,41 @@
 //! ops execute analytically, `affine` loops execute iteration by iteration,
 //! and `arith` ops compute real values — so one engine simulates a program
 //! at every lowering stage.
+//!
+//! # Hot-path design: the layout prepass
+//!
+//! Before the clock starts, a one-shot **layout prepass** ([`Plan::build`])
+//! compiles the module into an interpreter-friendly form, in the spirit of
+//! compiled-simulation systems (CVC, GSIM): specialise data layout and
+//! decode work *once*, not once per event.
+//!
+//! * Every SSA value is numbered into a **dense slot** within its *frame
+//!   scope* (the innermost enclosing `equeue.launch` body, or the top
+//!   region). A running frame's environment is a `Vec<Option<SimValue>>`
+//!   indexed by slot — no hashing on any value read or write.
+//! * Every op is pre-decoded into an [`OpCode`]: operand/result slots,
+//!   parsed attribute views (`launch`/`memcpy`/`read`/`write` segments,
+//!   loop bounds, constants, external-op cycle counts) — so the inner loop
+//!   dispatches on a plain enum and never touches strings or attribute
+//!   maps. Ops that fail to decode become [`OpCode::Invalid`] and only
+//!   error if actually executed, preserving the lazy semantics of the
+//!   original interpreter.
+//! * Each `equeue.launch` gets a pre-computed **capture map**: exactly the
+//!   values its body (transitively) references, as parent-slot → child-slot
+//!   pairs. Spawning an event copies just those — with copy-on-write
+//!   tensors ([`crate::TensorData`]), each copy is a pointer bump.
 
-use crate::interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
+use crate::interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int, BinOp};
 use crate::library::{MemSpec, SimLibrary};
 use crate::machine::{AccessKind, Machine, ProcProfile, RegisterBehavior};
 use crate::profile::SimReport;
 use crate::signal::SignalTable;
 use crate::trace::{Trace, TraceCat};
 use crate::value::{BufId, CompId, SignalId, SimValue, Tensor, TensorData};
-use equeue_dialect::{conv2d_dims, launch_view, memcpy_view, read_view, write_view, ConnKind};
-use equeue_ir::{BlockId, Module, OpId, RegionId, Type, ValueId};
+use equeue_dialect::{
+    conv2d_dims, launch_view, memcpy_view, read_view, write_view, ConnKind, ConvDims,
+};
+use equeue_ir::{AttrMap, BlockId, Module, OpId, RegionId, Type, ValueId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
@@ -67,6 +92,8 @@ impl Error for SimError {}
 #[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Record an operation-level Chrome trace (disable for large sweeps).
+    /// When off, the engine skips all trace bookkeeping — no event
+    /// allocation and no string formatting on the hot path.
     pub trace: bool,
     /// Upper bound on scheduler wakes (guards against runaway programs).
     pub max_wakes: u64,
@@ -74,7 +101,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { trace: true, max_wakes: 500_000_000 }
+        SimOptions {
+            trace: true,
+            max_wakes: 500_000_000,
+        }
     }
 }
 
@@ -122,7 +152,8 @@ pub fn simulate_with(
     options: &SimOptions,
 ) -> Result<SimReport, SimError> {
     let start = Instant::now();
-    let mut engine = Engine::new(module, library, options);
+    let plan = Plan::build(module, library);
+    let mut engine = Engine::new(module, &plan, library, options);
     engine.run()?;
     let mut report = SimReport {
         cycles: engine.horizon,
@@ -136,11 +167,731 @@ pub fn simulate_with(
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// The layout prepass
+// ---------------------------------------------------------------------------
+
+/// A dense index into a frame's environment vector.
+type Slot = u32;
+
+/// Pre-decoded spawn recipe for one `equeue.launch`.
+#[derive(Debug)]
+struct LaunchInfo {
+    /// Dependency signal operand.
+    dep: Slot,
+    /// Target processor operand.
+    proc: Slot,
+    /// The body's entry block.
+    body: BlockId,
+    /// The child frame scope.
+    scope: u32,
+    /// Environment size of the child frame.
+    frame_len: usize,
+    /// Free variables the body (transitively) references:
+    /// `(parent slot, child slot)`. Values absent in the parent frame are
+    /// skipped at spawn, like the original interpreter.
+    captures: Vec<(Slot, Slot)>,
+    /// Explicit capture operands bound to body block args:
+    /// `(parent slot, child slot)`.
+    arg_binds: Vec<(Slot, Slot)>,
+}
+
+/// One op, pre-decoded: operand/result slots plus parsed attributes.
+/// Decoding happens once per module in [`Plan::build`]; execution dispatches
+/// on this enum without touching op names or attribute maps.
+#[derive(Debug)]
+enum OpCode {
+    /// Erased op, or an op unreachable by execution: skip.
+    Erased,
+    // ---- structure specification ----
+    CreateProc {
+        kind: String,
+    },
+    CreateMem {
+        kind: String,
+        shape: Vec<usize>,
+        data_bits: u32,
+        banks: u32,
+        ports: Option<usize>,
+        attrs: AttrMap,
+    },
+    CreateDma,
+    CreateComp {
+        names: Vec<String>,
+        children: Vec<Slot>,
+    },
+    AddComp {
+        names: Vec<String>,
+        target: Slot,
+        children: Vec<Slot>,
+    },
+    GetComp {
+        target: Slot,
+        child: String,
+    },
+    CreateConnection {
+        kind: ConnKind,
+        bandwidth: u64,
+    },
+    // ---- data movement ----
+    Alloc {
+        mem: Slot,
+        shape: Vec<usize>,
+        elem_bytes: usize,
+        is_int: bool,
+    },
+    MemrefAlloc {
+        shape: Vec<usize>,
+        elem_bytes: usize,
+        is_int: bool,
+    },
+    Dealloc {
+        buf: Slot,
+    },
+    Read {
+        buffer: Slot,
+        indices: Vec<Slot>,
+        conn: Option<Slot>,
+    },
+    Write {
+        value: Slot,
+        buffer: Slot,
+        indices: Vec<Slot>,
+        conn: Option<Slot>,
+    },
+    AffineLoad {
+        buffer: Slot,
+        indices: Vec<Slot>,
+    },
+    AffineStore {
+        value: Slot,
+        buffer: Slot,
+        indices: Vec<Slot>,
+    },
+    // ---- events and control ----
+    Memcpy {
+        dep: Slot,
+        src: Slot,
+        dst: Slot,
+        dma: Slot,
+        conn: Option<Slot>,
+    },
+    Launch(Box<LaunchInfo>),
+    ControlStart,
+    Control {
+        and: bool,
+        deps: Vec<Slot>,
+    },
+    Await {
+        deps: Vec<Slot>,
+    },
+    Return {
+        values: Vec<Slot>,
+    },
+    /// `equeue.op`; `cycles` is `None` when the signature has no library
+    /// implementation and no explicit override — an error *if executed*.
+    ExtOp {
+        sig: String,
+        cycles: Option<u64>,
+    },
+    // ---- loops ----
+    For {
+        lower: i64,
+        upper: i64,
+        step: i64,
+        body: BlockId,
+        iv: Slot,
+    },
+    Parallel {
+        lowers: Vec<i64>,
+        uppers: Vec<i64>,
+        steps: Vec<i64>,
+        body: BlockId,
+        ivs: Vec<Slot>,
+    },
+    Yield,
+    // ---- linalg ----
+    Conv2d {
+        dims: ConvDims,
+        ifmap: Slot,
+        weights: Slot,
+        ofmap: Slot,
+    },
+    Matmul {
+        a: Slot,
+        b: Slot,
+        c: Slot,
+    },
+    Fill {
+        scalar: Slot,
+        buffer: Slot,
+    },
+    // ---- arith ----
+    Constant(SimValue),
+    Cmpi {
+        pred: String,
+        lhs: Slot,
+        rhs: Slot,
+    },
+    Select {
+        cond: Slot,
+        on_true: Slot,
+        on_false: Slot,
+    },
+    /// A binary `arith` op. `kind` is the pre-decoded operator for the
+    /// scalar fast path; `None` means an op name `apply_binary` will
+    /// reject (kept so the error fires at execution, like everything
+    /// else). `name` feeds tracing, profile fallback, and the
+    /// tensor/error slow path.
+    Binary {
+        kind: Option<BinOp>,
+        name: String,
+        lhs: Slot,
+        rhs: Slot,
+        index_typed: bool,
+    },
+    // ---- failures, deferred to execution time ----
+    /// The op failed to decode (malformed views/attrs, or an operand with
+    /// no materialisable definition). Raises `Runtime` if executed.
+    Invalid(String),
+    /// An op name the engine does not model. Raises `Unsupported` if
+    /// executed.
+    Unsupported(String),
+}
+
+/// Pre-decoded form of one op.
+#[derive(Debug)]
+struct OpInfo {
+    code: OpCode,
+    /// Result slots, in result order.
+    results: Vec<Slot>,
+}
+
+/// Value numbering of one frame scope.
+#[derive(Debug)]
+struct ScopeLayout {
+    /// Environment length (number of slots).
+    len: usize,
+    /// Slot → value, for diagnostics only.
+    values: Vec<ValueId>,
+}
+
+/// The prepass output: scope layouts plus a per-op side table.
+#[derive(Debug)]
+struct Plan {
+    scopes: Vec<ScopeLayout>,
+    /// Indexed by `OpId::index()`.
+    ops: Vec<OpInfo>,
+}
+
+/// Scope discovery scratch state.
+struct ScopeTmp {
+    root: RegionId,
+    blocks: Vec<BlockId>,
+    ops: Vec<OpId>,
+    children: Vec<usize>,
+    /// Values defined in the scope (block args + op results), in program
+    /// order.
+    defined: Vec<ValueId>,
+    /// Operand occurrences (with duplicates).
+    used: Vec<ValueId>,
+}
+
+impl Plan {
+    /// The one-shot layout prepass. Infallible: malformed ops decode to
+    /// [`OpCode::Invalid`] and only fail if executed. Linear in the module
+    /// size (dense arrays indexed by value id, no per-event work).
+    fn build(module: &Module, lib: &SimLibrary) -> Plan {
+        // -- 1. Scope discovery: the top region plus every launch body.
+        let mut tmp: Vec<ScopeTmp> = vec![ScopeTmp {
+            root: module.top_region(),
+            blocks: vec![],
+            ops: vec![],
+            children: vec![],
+            defined: vec![],
+            used: vec![],
+        }];
+        let mut scope_of_root: HashMap<RegionId, usize> = HashMap::new();
+        scope_of_root.insert(module.top_region(), 0);
+        let mut i = 0;
+        while i < tmp.len() {
+            let root = tmp[i].root;
+            let (mut blocks, mut ops, mut child_regions) = (vec![], vec![], vec![]);
+            collect_scope(module, root, &mut blocks, &mut ops, &mut child_regions);
+            for r in child_regions {
+                let idx = tmp.len();
+                scope_of_root.insert(r, idx);
+                tmp[i].children.push(idx);
+                tmp.push(ScopeTmp {
+                    root: r,
+                    blocks: vec![],
+                    ops: vec![],
+                    children: vec![],
+                    defined: vec![],
+                    used: vec![],
+                });
+            }
+            tmp[i].blocks = blocks;
+            tmp[i].ops = ops;
+            i += 1;
+        }
+        let n = tmp.len();
+
+        // -- 2. Defined/used per scope. Every value is defined in at most
+        // one scope; `def_scope` is a dense module-wide map of it.
+        const NO_SCOPE: u32 = u32::MAX;
+        let mut def_scope: Vec<u32> = vec![NO_SCOPE; module.num_values()];
+        for (s, t) in tmp.iter_mut().enumerate() {
+            for &b in &t.blocks {
+                for &a in &module.block(b).args {
+                    t.defined.push(a);
+                    def_scope[a.index()] = s as u32;
+                }
+            }
+            for &op in &t.ops {
+                let data = module.op(op);
+                for &r in &data.results {
+                    t.defined.push(r);
+                    def_scope[r.index()] = s as u32;
+                }
+                t.used.extend(data.operands.iter().copied());
+            }
+        }
+
+        // -- 3. Free sets, bottom-up (children have higher indices): a
+        // value is free in a scope if the scope — or any launch nested in
+        // it — uses it without defining it. Free vars of children must get
+        // slots here too, so the child's spawn can capture them from this
+        // frame.
+        let mut free: Vec<Vec<ValueId>> = vec![vec![]; n];
+        for s in (0..n).rev() {
+            let mut f: Vec<ValueId> = tmp[s]
+                .used
+                .iter()
+                .copied()
+                .filter(|v| def_scope[v.index()] != s as u32)
+                .collect();
+            for &c in &tmp[s].children {
+                f.extend(free[c].iter().filter(|v| def_scope[v.index()] != s as u32));
+            }
+            f.sort_unstable();
+            f.dedup();
+            free[s] = f;
+        }
+
+        // -- 4. Slot assignment: defined ∪ free, ordered by ValueId for
+        // determinism. The sorted layout doubles as the slot map (binary
+        // search at decode time — no per-scope hash maps).
+        let mut scopes: Vec<ScopeLayout> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut vals: Vec<ValueId> = Vec::with_capacity(tmp[s].defined.len() + free[s].len());
+            vals.extend(tmp[s].defined.iter().copied());
+            vals.extend(free[s].iter().copied());
+            vals.sort_unstable();
+            vals.dedup();
+            scopes.push(ScopeLayout {
+                len: vals.len(),
+                values: vals,
+            });
+        }
+
+        // -- 5. Op decode. Ops outside every scope (inside erased ops)
+        // stay `Erased`: they can never execute.
+        let mut ops: Vec<OpInfo> = (0..module.num_ops())
+            .map(|_| OpInfo {
+                code: OpCode::Erased,
+                results: vec![],
+            })
+            .collect();
+        for (s, t) in tmp.iter().enumerate() {
+            for &op in &t.ops {
+                ops[op.index()] = decode_op(module, lib, op, s, &scopes, &free, &scope_of_root);
+            }
+        }
+        Plan { scopes, ops }
+    }
+}
+
+/// Collects the blocks and ops of one frame scope: descends into nested
+/// regions (loops) but **not** into launch bodies, which start scopes of
+/// their own and are appended to `child_regions`.
+fn collect_scope(
+    module: &Module,
+    region: RegionId,
+    blocks: &mut Vec<BlockId>,
+    ops: &mut Vec<OpId>,
+    child_regions: &mut Vec<RegionId>,
+) {
+    for &b in &module.region(region).blocks {
+        blocks.push(b);
+        for &op in &module.block(b).ops {
+            let data = module.op(op);
+            if data.erased {
+                continue;
+            }
+            ops.push(op);
+            if data.name == "equeue.launch" && !data.regions.is_empty() {
+                child_regions.push(data.regions[0]);
+                for &r in &data.regions[1..] {
+                    collect_scope(module, r, blocks, ops, child_regions);
+                }
+            } else {
+                for &r in &data.regions {
+                    collect_scope(module, r, blocks, ops, child_regions);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one op of scope `s` into its [`OpInfo`].
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn decode_op(
+    module: &Module,
+    lib: &SimLibrary,
+    op: OpId,
+    s: usize,
+    scopes: &[ScopeLayout],
+    free: &[Vec<ValueId>],
+    scope_of_root: &HashMap<RegionId, usize>,
+) -> OpInfo {
+    let data = module.op(op);
+    // Slot of one value (binary search in the sorted layout); an operand
+    // defined by nothing executable (e.g. a result of an erased op) has no
+    // slot and poisons the decode.
+    let slot = |v: ValueId| -> Result<Slot, String> {
+        scopes[s]
+            .values
+            .binary_search(&v)
+            .map(|i| i as Slot)
+            .map_err(|_| format!("value %{v} has no materialisable definition"))
+    };
+    let slots_of =
+        |vs: &[ValueId]| -> Result<Vec<Slot>, String> { vs.iter().map(|&v| slot(v)).collect() };
+    // Checked accessors: a wrong-arity op must decode to `OpCode::Invalid`
+    // (failing only if executed), never panic the prepass.
+    let operand = |i: usize| -> Result<ValueId, String> {
+        data.operands
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("op '{}' missing operand {i}", data.name))
+    };
+    let operands_from = |i: usize| -> &[ValueId] { data.operands.get(i..).unwrap_or(&[]) };
+    let result0 = || -> Result<ValueId, String> {
+        data.results
+            .first()
+            .copied()
+            .ok_or_else(|| format!("op '{}' missing its result", data.name))
+    };
+    let results: Vec<Slot> = match slots_of(&data.results) {
+        Ok(r) => r,
+        Err(e) => {
+            return OpInfo {
+                code: OpCode::Invalid(e),
+                results: vec![],
+            }
+        }
+    };
+
+    let code = (|| -> Result<OpCode, String> {
+        let attr_str = |name: &str| -> Result<String, String> {
+            data.attrs
+                .str(name)
+                .map(str::to_string)
+                .ok_or_else(|| format!("op '{}' missing attribute '{name}'", data.name))
+        };
+        Ok(match data.name.as_str() {
+            "equeue.create_proc" => OpCode::CreateProc {
+                kind: attr_str("kind")?,
+            },
+            "equeue.create_mem" => {
+                let shape = data
+                    .attrs
+                    .shape("shape")
+                    .ok_or("create_mem missing shape")?;
+                OpCode::CreateMem {
+                    kind: attr_str("kind")?,
+                    shape,
+                    data_bits: data.attrs.int("data_bits").unwrap_or(32) as u32,
+                    banks: data.attrs.int("banks").unwrap_or(1).max(1) as u32,
+                    ports: data.attrs.int("ports").map(|v| v.max(1) as usize),
+                    attrs: data.attrs.clone(),
+                }
+            }
+            "equeue.create_dma" => OpCode::CreateDma,
+            "equeue.create_comp" | "equeue.add_comp" => {
+                let names: Vec<String> = data
+                    .attrs
+                    .get("names")
+                    .and_then(|a| a.as_str_array())
+                    .map(|s| s.to_vec())
+                    .ok_or_else(|| format!("{} missing names", data.name))?;
+                if data.name == "equeue.create_comp" {
+                    OpCode::CreateComp {
+                        names,
+                        children: slots_of(&data.operands)?,
+                    }
+                } else {
+                    OpCode::AddComp {
+                        names,
+                        target: slot(operand(0)?)?,
+                        children: slots_of(operands_from(1))?,
+                    }
+                }
+            }
+            "equeue.get_comp" => OpCode::GetComp {
+                target: slot(operand(0)?)?,
+                child: attr_str("name")?,
+            },
+            "equeue.create_connection" => {
+                let kind_s = attr_str("kind")?;
+                let kind = ConnKind::from_str(&kind_s)
+                    .ok_or_else(|| format!("bad connection kind {kind_s}"))?;
+                let bw = data.attrs.int("bandwidth").unwrap_or(0).max(0) as u64;
+                OpCode::CreateConnection {
+                    kind,
+                    bandwidth: bw,
+                }
+            }
+            "equeue.alloc" => {
+                let rt = module.value_type(result0()?);
+                let (shape, elem) = match rt {
+                    Type::Buffer { shape, elem } => (shape.clone(), (**elem).clone()),
+                    other => return Err(format!("alloc result must be a buffer, got {other}")),
+                };
+                OpCode::Alloc {
+                    mem: slot(operand(0)?)?,
+                    shape,
+                    elem_bytes: elem.elem_byte_width().unwrap_or(4),
+                    is_int: elem.is_integer(),
+                }
+            }
+            "memref.alloc" => {
+                let rt = module.value_type(result0()?);
+                let (shape, elem) = match rt {
+                    Type::MemRef { shape, elem } => (shape.clone(), (**elem).clone()),
+                    other => return Err(format!("memref.alloc result {other}")),
+                };
+                OpCode::MemrefAlloc {
+                    shape,
+                    elem_bytes: elem.elem_byte_width().unwrap_or(4),
+                    is_int: elem.is_integer(),
+                }
+            }
+            "equeue.dealloc" | "memref.dealloc" => OpCode::Dealloc {
+                buf: slot(operand(0)?)?,
+            },
+            "equeue.read" => {
+                let view = read_view(module, op)?;
+                OpCode::Read {
+                    buffer: slot(view.buffer)?,
+                    indices: slots_of(&view.indices)?,
+                    conn: view.conn.map(slot).transpose()?,
+                }
+            }
+            "equeue.write" => {
+                let view = write_view(module, op)?;
+                OpCode::Write {
+                    value: slot(view.value)?,
+                    buffer: slot(view.buffer)?,
+                    indices: slots_of(&view.indices)?,
+                    conn: view.conn.map(slot).transpose()?,
+                }
+            }
+            "affine.load" => OpCode::AffineLoad {
+                buffer: slot(operand(0)?)?,
+                indices: slots_of(operands_from(1))?,
+            },
+            "affine.store" => OpCode::AffineStore {
+                value: slot(operand(0)?)?,
+                buffer: slot(operand(1)?)?,
+                indices: slots_of(operands_from(2))?,
+            },
+            "equeue.memcpy" => {
+                let view = memcpy_view(module, op)?;
+                OpCode::Memcpy {
+                    dep: slot(view.dep)?,
+                    src: slot(view.src)?,
+                    dst: slot(view.dst)?,
+                    dma: slot(view.dma)?,
+                    conn: view.conn.map(slot).transpose()?,
+                }
+            }
+            "equeue.launch" => {
+                let view = launch_view(module, op).map_err(|e| format!("{e} (launch op)"))?;
+                let child = *scope_of_root
+                    .get(&data.regions[0])
+                    .ok_or("launch body region is not a scope")?;
+                let child_slot = |v: ValueId| -> Result<Slot, String> {
+                    scopes[child]
+                        .values
+                        .binary_search(&v)
+                        .map(|i| i as Slot)
+                        .map_err(|_| format!("value %{v} missing from launch scope"))
+                };
+                // Free-variable capture map: parent slot → child slot.
+                let captures: Vec<(Slot, Slot)> = free[child]
+                    .iter()
+                    .map(|&v| Ok((slot(v)?, child_slot(v)?)))
+                    .collect::<Result<_, String>>()?;
+                // Explicit captures bound to body block args.
+                let args = &module.block(view.body).args;
+                let arg_binds: Vec<(Slot, Slot)> = view
+                    .captures
+                    .iter()
+                    .zip(args.iter())
+                    .map(|(&cap, &arg)| Ok((slot(cap)?, child_slot(arg)?)))
+                    .collect::<Result<_, String>>()?;
+                OpCode::Launch(Box::new(LaunchInfo {
+                    dep: slot(view.dep)?,
+                    proc: slot(view.proc)?,
+                    body: view.body,
+                    scope: child as u32,
+                    frame_len: scopes[child].len,
+                    captures,
+                    arg_binds,
+                }))
+            }
+            "equeue.control_start" => OpCode::ControlStart,
+            "equeue.control_and" | "equeue.control_or" => OpCode::Control {
+                and: data.name == "equeue.control_and",
+                deps: slots_of(&data.operands)?,
+            },
+            "equeue.await" => OpCode::Await {
+                deps: slots_of(&data.operands)?,
+            },
+            "equeue.return" => OpCode::Return {
+                values: slots_of(&data.operands)?,
+            },
+            "equeue.op" => {
+                let sig = attr_str("signature")?;
+                // An explicit `cycles` attribute overrides the library, so
+                // generators can emit parameterised macro-ops; otherwise
+                // the signature must be implemented in the simulator
+                // library (§III-E). Unknown signatures only fail when
+                // executed.
+                let cycles = match data.attrs.int("cycles") {
+                    Some(c) => Some(c.max(0) as u64),
+                    None => lib.ext_op(&sig).map(|e| e.cycles),
+                };
+                OpCode::ExtOp { sig, cycles }
+            }
+            "affine.for" => {
+                let region = *data.regions.first().ok_or("affine.for needs a region")?;
+                let body = *module
+                    .region(region)
+                    .blocks
+                    .first()
+                    .ok_or("affine.for empty region")?;
+                let iv = *module
+                    .block(body)
+                    .args
+                    .first()
+                    .ok_or("affine.for body needs an iv")?;
+                OpCode::For {
+                    lower: data.attrs.int("lower").unwrap_or(0),
+                    upper: data.attrs.int("upper").unwrap_or(0),
+                    step: data.attrs.int("step").unwrap_or(1),
+                    body,
+                    iv: slot(iv)?,
+                }
+            }
+            "affine.parallel" => {
+                let region = *data
+                    .regions
+                    .first()
+                    .ok_or("affine.parallel needs a region")?;
+                let body = *module
+                    .region(region)
+                    .blocks
+                    .first()
+                    .ok_or("affine.parallel empty region")?;
+                OpCode::Parallel {
+                    lowers: data.attrs.int_array("lowers").unwrap_or(&[]).to_vec(),
+                    uppers: data.attrs.int_array("uppers").unwrap_or(&[]).to_vec(),
+                    steps: data.attrs.int_array("steps").unwrap_or(&[]).to_vec(),
+                    body,
+                    ivs: slots_of(&module.block(body).args.clone())?,
+                }
+            }
+            "affine.yield" => OpCode::Yield,
+            "linalg.conv2d" => OpCode::Conv2d {
+                dims: conv2d_dims(module, op)?,
+                ifmap: slot(operand(0)?)?,
+                weights: slot(operand(1)?)?,
+                ofmap: slot(operand(2)?)?,
+            },
+            "linalg.matmul" => OpCode::Matmul {
+                a: slot(operand(0)?)?,
+                b: slot(operand(1)?)?,
+                c: slot(operand(2)?)?,
+            },
+            "linalg.fill" => OpCode::Fill {
+                scalar: slot(operand(0)?)?,
+                buffer: slot(operand(1)?)?,
+            },
+            "arith.constant" => {
+                let rt = module.value_type(result0()?);
+                OpCode::Constant(if rt.is_float() {
+                    SimValue::Float(data.attrs.float("value").unwrap_or(0.0))
+                } else {
+                    SimValue::Int(data.attrs.int("value").unwrap_or(0))
+                })
+            }
+            "arith.cmpi" => OpCode::Cmpi {
+                pred: attr_str("predicate")?,
+                lhs: slot(operand(0)?)?,
+                rhs: slot(operand(1)?)?,
+            },
+            "arith.select" => OpCode::Select {
+                cond: slot(operand(0)?)?,
+                on_true: slot(operand(1)?)?,
+                on_false: slot(operand(2)?)?,
+            },
+            name if name.starts_with("arith.") => {
+                if data.operands.len() != 2 {
+                    return Err(format!("'{name}' needs exactly two operands"));
+                }
+                // Index-typed arithmetic is address generation, which the
+                // memory pipeline absorbs; it costs no datapath cycles.
+                let index_typed = *module.value_type(result0()?) == Type::Index;
+                OpCode::Binary {
+                    kind: BinOp::from_name(name),
+                    name: name.to_string(),
+                    lhs: slot(operand(0)?)?,
+                    rhs: slot(operand(1)?)?,
+                    index_typed,
+                }
+            }
+            other => OpCode::Unsupported(other.to_string()),
+        })
+    })();
+
+    match code {
+        Ok(code) => OpInfo { code, results },
+        Err(e) => OpInfo {
+            code: OpCode::Invalid(e),
+            results,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------------
+
 /// A pending event in a processor's event queue.
 #[derive(Debug)]
 enum EventKind {
-    Launch { op: OpId, env: HashMap<ValueId, SimValue> },
-    Memcpy { src: BufId, dst: BufId, conn: Option<crate::value::ConnId> },
+    Launch {
+        op: OpId,
+        env: Vec<Option<SimValue>>,
+    },
+    Memcpy {
+        src: BufId,
+        dst: BufId,
+        conn: Option<crate::value::ConnId>,
+    },
 }
 
 #[derive(Debug)]
@@ -153,7 +904,7 @@ struct PendingEvent {
 /// Loop bookkeeping for `affine.for` / `affine.parallel` scopes.
 #[derive(Debug, Clone)]
 struct LoopState {
-    ivs: Vec<ValueId>,
+    ivs: Vec<Slot>,
     lowers: Vec<i64>,
     uppers: Vec<i64>,
     steps: Vec<i64>,
@@ -191,11 +942,42 @@ struct Scope {
     looping: Option<LoopState>,
 }
 
+/// An executing launch body: a dense slot-indexed environment plus a block
+/// stack. `scope` names the frame's [`ScopeLayout`] (diagnostics).
 #[derive(Debug)]
 struct Frame {
-    env: HashMap<ValueId, SimValue>,
+    env: Vec<Option<SimValue>>,
     stack: Vec<Scope>,
     done: SignalId,
+    scope: u32,
+}
+
+/// Cycle counts for the hottest op classes, resolved from a
+/// [`ProcProfile`] once at processor creation so the inner loop never
+/// hashes op-name strings.
+#[derive(Debug, Clone)]
+struct HotCycles {
+    load: u64,
+    store: u64,
+    cmpi: u64,
+    select: u64,
+    arith: [u64; BinOp::COUNT],
+}
+
+impl HotCycles {
+    fn from_profile(p: &ProcProfile) -> Self {
+        let mut arith = [0u64; BinOp::COUNT];
+        for (i, op) in BinOp::ALL.into_iter().enumerate() {
+            arith[i] = p.cycles(op.name());
+        }
+        HotCycles {
+            load: p.cycles("affine.load"),
+            store: p.cycles("affine.store"),
+            cmpi: p.cycles("arith.cmpi"),
+            select: p.cycles("arith.select"),
+            arith,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -205,6 +987,39 @@ struct ProcRuntime {
     frame: Option<Frame>,
     clock: u64,
     profile: ProcProfile,
+    hot: HotCycles,
+}
+
+/// A small inline buffer for buffer subscripts (tensor ranks are tiny);
+/// spills to the heap only past 8 dimensions.
+#[derive(Debug, Default)]
+struct IndexBuf {
+    inline: [usize; 8],
+    len: usize,
+    spill: Vec<usize>,
+}
+
+impl IndexBuf {
+    fn push(&mut self, v: usize) {
+        if self.len < self.inline.len() {
+            self.inline[self.len] = v;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(v);
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
 }
 
 /// What happened when a frame stepped one op.
@@ -221,6 +1036,7 @@ enum Step {
 
 struct Engine<'m> {
     module: &'m Module,
+    plan: &'m Plan,
     lib: &'m SimLibrary,
     options: SimOptions,
     machine: Machine,
@@ -234,14 +1050,14 @@ struct Engine<'m> {
     wakes: u64,
     ops_interpreted: u64,
     trace: Trace,
-    free_vars_cache: HashMap<RegionId, Vec<ValueId>>,
     host_mem: Option<CompId>,
 }
 
 impl<'m> Engine<'m> {
-    fn new(module: &'m Module, lib: &'m SimLibrary, options: &SimOptions) -> Self {
+    fn new(module: &'m Module, plan: &'m Plan, lib: &'m SimLibrary, options: &SimOptions) -> Self {
         let mut engine = Engine {
             module,
+            plan,
             lib,
             options: options.clone(),
             machine: Machine::new(),
@@ -254,19 +1070,29 @@ impl<'m> Engine<'m> {
             horizon: 0,
             wakes: 0,
             ops_interpreted: 0,
-            trace: if options.trace { Trace::new() } else { Trace::disabled() },
-            free_vars_cache: HashMap::new(),
+            trace: if options.trace {
+                Trace::new()
+            } else {
+                Trace::disabled()
+            },
             host_mem: None,
         };
         // The implicit host processor interprets the top block at time 0;
         // all its ops are free (orchestration, not datapath).
-        let host = engine.machine.add_processor("Host", ProcProfile::uniform(0));
+        let host = engine
+            .machine
+            .add_processor("Host", ProcProfile::uniform(0));
         let host_idx = engine.add_proc_runtime(host, ProcProfile::uniform(0));
         let done = engine.signals.fresh();
         engine.procs[host_idx].frame = Some(Frame {
-            env: HashMap::new(),
-            stack: vec![Scope { block: module.top_block(), idx: 0, looping: None }],
+            env: vec![None; plan.scopes[0].len],
+            stack: vec![Scope {
+                block: module.top_block(),
+                idx: 0,
+                looping: None,
+            }],
             done,
+            scope: 0,
         });
         engine.schedule(0, host_idx);
         engine
@@ -279,6 +1105,7 @@ impl<'m> Engine<'m> {
             queue: VecDeque::new(),
             frame: None,
             clock: 0,
+            hot: HotCycles::from_profile(&profile),
             profile,
         });
         self.proc_of_comp.insert(comp, idx);
@@ -313,7 +1140,10 @@ impl<'m> Engine<'m> {
         let mut stuck = vec![];
         for (i, proc) in self.procs.iter().enumerate() {
             if proc.frame.is_some() && i != 0 {
-                stuck.push(format!("{} has an unfinished frame", self.machine.name(proc.comp)));
+                stuck.push(format!(
+                    "{} has an unfinished frame",
+                    self.machine.name(proc.comp)
+                ));
             }
             if !proc.queue.is_empty() {
                 stuck.push(format!(
@@ -377,7 +1207,7 @@ impl<'m> Engine<'m> {
                     }
                 }
             }
-            // Step the active frame one op at a time.
+            // Step the active frame (a burst of ops; see `step_frame`).
             match self.step_frame(p)? {
                 Step::Continue => continue,
                 Step::Yield => {
@@ -395,12 +1225,18 @@ impl<'m> Engine<'m> {
     fn issue_event(&mut self, p: usize, event: PendingEvent) -> Result<(), SimError> {
         match event.kind {
             EventKind::Launch { op, env } => {
-                let view = launch_view(self.module, op)
-                    .map_err(|e| SimError::Runtime(format!("{e} (launch op)")))?;
+                let OpCode::Launch(info) = &self.plan.ops[op.index()].code else {
+                    return Err(SimError::Runtime("launch event for a non-launch op".into()));
+                };
                 self.procs[p].frame = Some(Frame {
                     env,
-                    stack: vec![Scope { block: view.body, idx: 0, looping: None }],
+                    stack: vec![Scope {
+                        block: info.body,
+                        idx: 0,
+                        looping: None,
+                    }],
                     done: event.done,
+                    scope: info.scope,
                 });
                 Ok(())
             }
@@ -456,18 +1292,36 @@ impl<'m> Engine<'m> {
         let (_, wr_end) = self.machine.memory_mut(dst_mem).reserve(start, wr_cycles);
         let mut end = rd_end.max(wr_end);
         if let Some(c) = conn {
-            let (_, c_end) = self.machine.connection_mut(c).reserve(AccessKind::Read, start, bytes);
+            let (_, c_end) = self
+                .machine
+                .connection_mut(c)
+                .reserve(AccessKind::Read, start, bytes);
             let (_, c_end2) =
-                self.machine.connection_mut(c).reserve(AccessKind::Write, start, bytes);
+                self.machine
+                    .connection_mut(c)
+                    .reserve(AccessKind::Write, start, bytes);
             end = end.max(c_end).max(c_end2);
         }
-        self.machine.memory_mut(src_mem).count(AccessKind::Read, bytes);
-        self.machine.memory_mut(dst_mem).count(AccessKind::Write, bytes);
-        // Move the data.
+        self.machine
+            .memory_mut(src_mem)
+            .count(AccessKind::Read, bytes);
+        self.machine
+            .memory_mut(dst_mem)
+            .count(AccessKind::Write, bytes);
+        // Move the data (an Arc bump under copy-on-write).
         let data = self.machine.buffer(src).data.clone();
         self.machine.buffer_mut(dst).data = data;
-        let tid = self.machine.name(self.procs[p].comp).to_string();
-        self.trace.record("equeue.memcpy", TraceCat::Operation, start, end - start, "DMA", &tid);
+        if self.trace.is_enabled() {
+            let tid = self.machine.name(self.procs[p].comp).to_string();
+            self.trace.record(
+                "equeue.memcpy",
+                TraceCat::Operation,
+                start,
+                end - start,
+                "DMA",
+                &tid,
+            );
+        }
         self.bump_horizon(end);
         Ok(end)
     }
@@ -487,111 +1341,148 @@ impl<'m> Engine<'m> {
                 None => false,
             } || self.procs[p].frame.is_some();
             if interested {
-                let at = self.signals.resolve_time(sig).unwrap_or(time).max(self.procs[p].clock);
+                let at = self
+                    .signals
+                    .resolve_time(sig)
+                    .unwrap_or(time)
+                    .max(self.procs[p].clock);
                 self.schedule(at, p);
             }
         }
     }
 
-    /// Free variables of a region: values used inside but defined outside.
-    fn free_vars(&mut self, region: RegionId) -> Vec<ValueId> {
-        if let Some(v) = self.free_vars_cache.get(&region) {
-            return v.clone();
-        }
-        let module = self.module;
-        let mut defined: Vec<ValueId> = vec![];
-        for &b in &module.region(region).blocks {
-            defined.extend(module.block(b).args.iter().copied());
-        }
-        let mut used: Vec<ValueId> = vec![];
-        let ops = module.region_ops(region);
-        for &op in &ops {
-            used.extend(module.op(op).operands.iter().copied());
-            defined.extend(module.op(op).results.iter().copied());
-            for &r in &module.op(op).regions {
-                for &b in &module.region(r).blocks {
-                    defined.extend(module.block(b).args.iter().copied());
-                }
-            }
-        }
-        let defined: std::collections::HashSet<ValueId> = defined.into_iter().collect();
-        let mut free: Vec<ValueId> = used.into_iter().filter(|v| !defined.contains(v)).collect();
-        free.sort();
-        free.dedup();
-        self.free_vars_cache.insert(region, free.clone());
-        free
-    }
-
     // ---- value evaluation -------------------------------------------------
 
-    fn lookup(&self, frame: &Frame, v: ValueId) -> Result<SimValue, SimError> {
-        let val = frame.env.get(&v).cloned().ok_or_else(|| {
-            SimError::Runtime(format!("value %{} used before definition in simulation", v))
-        })?;
-        if let SimValue::Deferred { signal, index } = val {
-            let payload = self.signals.payload(signal);
-            return payload.get(index).cloned().ok_or_else(|| {
-                SimError::Runtime(
-                    "launch result used before the launch completed (missing await?)".into(),
-                )
-            });
-        }
-        Ok(val)
+    /// "Used before definition" diagnostic for an empty slot.
+    fn undef(&self, frame: &Frame, slot: Slot) -> SimError {
+        let v = self.plan.scopes[frame.scope as usize].values[slot as usize];
+        SimError::Runtime(format!("value %{v} used before definition in simulation"))
     }
 
-    /// Like [`Engine::lookup`], but keeps an unresolved launch result as a
-    /// [`SimValue::Deferred`] instead of failing. Used when *spawning*
-    /// events whose dependency guarantees the value exists by issue time.
-    fn lookup_lazy(&self, frame: &Frame, v: ValueId) -> Result<SimValue, SimError> {
-        let val = frame.env.get(&v).cloned().ok_or_else(|| {
-            SimError::Runtime(format!("value %{} used before definition in simulation", v))
-        })?;
-        if let SimValue::Deferred { signal, index } = val {
-            if let Some(resolved) = self.signals.payload(signal).get(index) {
-                return Ok(resolved.clone());
+    /// Reads a slot. `strict` controls [`SimValue::Deferred`] handling:
+    /// strict lookups fail when the launch payload is not yet available,
+    /// lazy ones (used when *spawning* events whose dependency guarantees
+    /// the value exists by issue time) keep the `Deferred` marker.
+    fn lookup_mode(&self, frame: &Frame, slot: Slot, strict: bool) -> Result<SimValue, SimError> {
+        let val = frame.env[slot as usize]
+            .as_ref()
+            .ok_or_else(|| self.undef(frame, slot))?;
+        if let SimValue::Deferred { signal, index } = *val {
+            match self.signals.payload(signal).get(index) {
+                Some(resolved) => return Ok(resolved.clone()),
+                None if strict => {
+                    return Err(SimError::Runtime(
+                        "launch result used before the launch completed (missing await?)".into(),
+                    ))
+                }
+                None => {}
             }
         }
-        Ok(val)
+        Ok(val.clone())
     }
 
-    fn lookup_signal(&self, frame: &Frame, v: ValueId) -> Result<SignalId, SimError> {
-        match self.lookup(frame, v)? {
+    fn lookup(&self, frame: &Frame, slot: Slot) -> Result<SimValue, SimError> {
+        self.lookup_mode(frame, slot, true)
+    }
+
+    fn lookup_lazy(&self, frame: &Frame, slot: Slot) -> Result<SimValue, SimError> {
+        self.lookup_mode(frame, slot, false)
+    }
+
+    fn lookup_signal(&self, frame: &Frame, slot: Slot) -> Result<SignalId, SimError> {
+        match self.lookup(frame, slot)? {
             SimValue::Signal(s) => Ok(s),
             other => Err(SimError::Runtime(format!("expected a signal, got {other}"))),
         }
     }
 
-    fn lookup_comp(&self, frame: &Frame, v: ValueId) -> Result<CompId, SimError> {
-        match self.lookup(frame, v)? {
+    fn lookup_comp(&self, frame: &Frame, slot: Slot) -> Result<CompId, SimError> {
+        match self.lookup(frame, slot)? {
             SimValue::Component(c) => Ok(c),
-            other => Err(SimError::Runtime(format!("expected a component, got {other}"))),
+            other => Err(SimError::Runtime(format!(
+                "expected a component, got {other}"
+            ))),
         }
     }
 
-    fn lookup_buffer(&self, frame: &Frame, v: ValueId) -> Result<BufId, SimError> {
-        match self.lookup(frame, v)? {
+    fn lookup_buffer(&self, frame: &Frame, slot: Slot) -> Result<BufId, SimError> {
+        match self.lookup(frame, slot)? {
             SimValue::Buffer(b) => Ok(b),
             other => Err(SimError::Runtime(format!("expected a buffer, got {other}"))),
         }
     }
 
-    fn lookup_indices(&self, frame: &Frame, vs: &[ValueId]) -> Result<Vec<usize>, SimError> {
-        vs.iter()
-            .map(|&v| {
-                self.lookup(frame, v)?.as_int().map(|i| i.max(0) as usize).ok_or_else(|| {
-                    SimError::Runtime("subscripts must be integers".into())
-                })
-            })
-            .collect()
+    fn lookup_conn(
+        &self,
+        frame: &Frame,
+        slot: Option<Slot>,
+    ) -> Result<Option<crate::value::ConnId>, SimError> {
+        match slot {
+            Some(s) => match self.lookup(frame, s)? {
+                SimValue::Connection(id) => Ok(Some(id)),
+                other => Err(SimError::Runtime(format!("not a connection: {other}"))),
+            },
+            None => Ok(None),
+        }
+    }
+
+    /// Evaluates subscript slots into a stack-allocated [`IndexBuf`] — no
+    /// heap allocation on the per-access path.
+    fn read_indices(
+        &self,
+        frame: &Frame,
+        slots: &[Slot],
+        out: &mut IndexBuf,
+    ) -> Result<(), SimError> {
+        for &s in slots {
+            let i = self
+                .lookup(frame, s)?
+                .as_int()
+                .ok_or_else(|| SimError::Runtime("subscripts must be integers".into()))?;
+            out.push(i.max(0) as usize);
+        }
+        Ok(())
     }
 
     // ---- frame stepping ----------------------------------------------------
 
-    /// Interprets the next op of `p`'s frame (stages 3 and 4 for in-frame
-    /// operations).
+    /// Interprets a *burst* of ops in `p`'s frame (stages 3 and 4 for
+    /// in-frame operations): keeps stepping through zero-time ops, and
+    /// through timed ops whenever no other event is due at or before this
+    /// processor's advancing clock — those wakes would be the very next
+    /// heap pop, so they are taken inline (still counted, so
+    /// `events_processed` and the `max_wakes` guard behave exactly as if
+    /// each had gone through the heap). Returns `Yield` only when another
+    /// processor must run first.
     fn step_frame(&mut self, p: usize) -> Result<Step, SimError> {
-        let mut frame = self.procs[p].frame.take().expect("step_frame needs a frame");
-        let result = self.step_frame_inner(p, &mut frame);
+        let mut frame = self.procs[p]
+            .frame
+            .take()
+            .expect("step_frame needs a frame");
+        let result = loop {
+            match self.step_frame_inner(p, &mut frame) {
+                Ok(Step::Continue) => continue,
+                Ok(Step::Yield) => {
+                    let clock = self.procs[p].clock;
+                    let contended = self
+                        .heap
+                        .peek()
+                        .is_some_and(|&Reverse((t_top, _, _))| t_top <= clock);
+                    if contended {
+                        break Ok(Step::Yield);
+                    }
+                    self.now = clock;
+                    self.wakes += 1;
+                    if self.wakes > self.options.max_wakes {
+                        break Err(SimError::Limit(format!(
+                            "exceeded {} scheduler wakes at cycle {clock}",
+                            self.options.max_wakes
+                        )));
+                    }
+                }
+                other => break other,
+            }
+        };
         match &result {
             Ok(Step::Finished) => {
                 // Frame dropped; done signal was resolved inside.
@@ -615,14 +1506,8 @@ impl<'m> Engine<'m> {
                 Some(state) => {
                     if state.advance() && state.live() {
                         scope.idx = 0;
-                        let bindings: Vec<(ValueId, i64)> = state
-                            .ivs
-                            .iter()
-                            .copied()
-                            .zip(state.current.iter().copied())
-                            .collect();
-                        for (iv, val) in bindings {
-                            frame.env.insert(iv, SimValue::Int(val));
+                        for (&iv, &val) in state.ivs.iter().zip(state.current.iter()) {
+                            frame.env[iv as usize] = Some(SimValue::Int(val));
                         }
                     } else {
                         frame.stack.pop();
@@ -640,7 +1525,7 @@ impl<'m> Engine<'m> {
         let scope = frame.stack.last_mut().unwrap();
         let op = self.module.block(scope.block).ops[scope.idx];
         scope.idx += 1;
-        if self.module.op(op).erased {
+        if matches!(self.plan.ops[op.index()].code, OpCode::Erased) {
             return Ok(Step::Continue);
         }
         self.ops_interpreted += 1;
@@ -659,273 +1544,281 @@ impl<'m> Engine<'m> {
         Ok(Step::Finished)
     }
 
-    /// Executes one op inside a frame. Returns how the scheduler should
-    /// proceed.
+    /// Binds an op's `index`-th result in the frame.
+    fn bind(&self, frame: &mut Frame, info: &OpInfo, index: usize, value: SimValue) {
+        frame.env[info.results[index] as usize] = Some(value);
+    }
+
+    /// Executes one pre-decoded op inside a frame. Returns how the
+    /// scheduler should proceed.
     #[allow(clippy::too_many_lines)]
     fn exec_op(&mut self, p: usize, frame: &mut Frame, op: OpId) -> Result<Step, SimError> {
-        let name = self.module.op(op).name.clone();
+        // `plan` is a copy of the `&'m Plan` reference, so `info` borrows
+        // the plan, not `self` — the machine/signal state stays mutable.
+        let plan: &'m Plan = self.plan;
+        let info = &plan.ops[op.index()];
         let clock = self.procs[p].clock;
-        match name.as_str() {
+        match &info.code {
+            OpCode::Erased => Ok(Step::Continue),
+
             // ---- structure specification (elaboration, free) ----
-            "equeue.create_proc" => {
-                let kind = self.attr_str(op, "kind")?;
-                let profile = self.lib.proc_profile(&kind);
-                let comp = self.machine.add_processor(&kind, profile.clone());
+            OpCode::CreateProc { kind } => {
+                let profile = self.lib.proc_profile(kind);
+                let comp = self.machine.add_processor(kind, profile.clone());
                 self.add_proc_runtime(comp, profile);
-                self.bind(frame, op, 0, SimValue::Component(comp));
+                self.bind(frame, info, 0, SimValue::Component(comp));
                 Ok(Step::Continue)
             }
-            "equeue.create_mem" => {
-                let kind = self.attr_str(op, "kind")?;
-                let attrs = self.module.op(op).attrs.clone();
-                let shape = attrs
-                    .shape("shape")
-                    .ok_or_else(|| SimError::Runtime("create_mem missing shape".into()))?;
-                let data_bits = attrs.int("data_bits").unwrap_or(32) as u32;
-                let banks = attrs.int("banks").unwrap_or(1).max(1) as u32;
-                let ports = attrs
-                    .int("ports")
-                    .map(|v| v.max(1) as usize)
-                    .unwrap_or(self.lib.default_mem_ports);
+            OpCode::CreateMem {
+                kind,
+                shape,
+                data_bits,
+                banks,
+                ports,
+                attrs,
+            } => {
                 let spec = MemSpec {
                     kind: kind.clone(),
                     capacity_elems: shape.iter().product(),
-                    data_bits,
-                    banks,
-                    attrs,
+                    data_bits: *data_bits,
+                    banks: *banks,
+                    attrs: attrs.clone(),
                 };
                 let behavior = self.lib.make_memory(&spec);
                 let energy = spec
                     .attrs
                     .float("energy_pj")
-                    .unwrap_or_else(|| self.lib.energy_per_access(&kind));
+                    .unwrap_or_else(|| self.lib.energy_per_access(kind));
                 let comp = self.machine.add_memory_with_energy(
-                    &kind,
+                    kind,
                     spec.capacity_elems,
-                    data_bits,
-                    banks,
-                    ports,
+                    *data_bits,
+                    *banks,
+                    ports.unwrap_or(self.lib.default_mem_ports),
                     behavior,
                     energy,
                 );
-                self.bind(frame, op, 0, SimValue::Component(comp));
+                self.bind(frame, info, 0, SimValue::Component(comp));
                 Ok(Step::Continue)
             }
-            "equeue.create_dma" => {
+            OpCode::CreateDma => {
                 let comp = self.machine.add_dma();
                 self.add_proc_runtime(comp, SimLibrary::default_profile());
-                self.bind(frame, op, 0, SimValue::Component(comp));
+                self.bind(frame, info, 0, SimValue::Component(comp));
                 Ok(Step::Continue)
             }
-            "equeue.create_comp" | "equeue.add_comp" => {
-                let names: Vec<String> = self
-                    .module
-                    .op(op)
-                    .attrs
-                    .get("names")
-                    .and_then(|a| a.as_str_array())
-                    .map(|s| s.to_vec())
-                    .ok_or_else(|| SimError::Runtime(format!("{name} missing names")))?;
-                let operands = self.module.op(op).operands.clone();
-                if name == "equeue.create_comp" {
-                    let children: Vec<CompId> = operands
-                        .iter()
-                        .map(|&v| self.lookup_comp(frame, v))
-                        .collect::<Result<_, _>>()?;
-                    let comp = self.machine.add_composite(&names, &children);
-                    self.bind(frame, op, 0, SimValue::Component(comp));
-                } else {
-                    let target = self.lookup_comp(frame, operands[0])?;
-                    let children: Vec<CompId> = operands[1..]
-                        .iter()
-                        .map(|&v| self.lookup_comp(frame, v))
-                        .collect::<Result<_, _>>()?;
-                    self.machine.extend_composite(target, &names, &children);
-                }
+            OpCode::CreateComp { names, children } => {
+                let kids: Vec<CompId> = children
+                    .iter()
+                    .map(|&s| self.lookup_comp(frame, s))
+                    .collect::<Result<_, _>>()?;
+                let comp = self.machine.add_composite(names, &kids);
+                self.bind(frame, info, 0, SimValue::Component(comp));
                 Ok(Step::Continue)
             }
-            "equeue.get_comp" => {
-                let target = self.lookup_comp(frame, self.module.op(op).operands[0])?;
-                let child_name = self.attr_str(op, "name")?;
-                let child = self.machine.child(target, &child_name).ok_or_else(|| {
+            OpCode::AddComp {
+                names,
+                target,
+                children,
+            } => {
+                let target = self.lookup_comp(frame, *target)?;
+                let kids: Vec<CompId> = children
+                    .iter()
+                    .map(|&s| self.lookup_comp(frame, s))
+                    .collect::<Result<_, _>>()?;
+                self.machine.extend_composite(target, names, &kids);
+                Ok(Step::Continue)
+            }
+            OpCode::GetComp { target, child } => {
+                let target = self.lookup_comp(frame, *target)?;
+                let found = self.machine.child(target, child).ok_or_else(|| {
                     SimError::Runtime(format!(
-                        "component '{}' has no child '{child_name}'",
+                        "component '{}' has no child '{child}'",
                         self.machine.name(target)
                     ))
                 })?;
-                self.bind(frame, op, 0, SimValue::Component(child));
+                self.bind(frame, info, 0, SimValue::Component(found));
                 Ok(Step::Continue)
             }
-            "equeue.create_connection" => {
-                let kind_s = self.attr_str(op, "kind")?;
-                let kind = ConnKind::from_str(&kind_s)
-                    .ok_or_else(|| SimError::Runtime(format!("bad connection kind {kind_s}")))?;
-                let bw = self.module.op(op).attrs.int("bandwidth").unwrap_or(0).max(0) as u64;
-                let conn = self.machine.add_connection(kind, bw);
-                self.bind(frame, op, 0, SimValue::Connection(conn));
+            OpCode::CreateConnection { kind, bandwidth } => {
+                let conn = self.machine.add_connection(*kind, *bandwidth);
+                self.bind(frame, info, 0, SimValue::Connection(conn));
                 Ok(Step::Continue)
             }
 
             // ---- data movement ----
-            "equeue.alloc" => {
-                let mem = self.lookup_comp(frame, self.module.op(op).operands[0])?;
-                let rt = self.module.value_type(self.module.result(op, 0)).clone();
-                let (shape, elem) = match &rt {
-                    Type::Buffer { shape, elem } => (shape.clone(), (**elem).clone()),
-                    other => {
-                        return Err(SimError::Runtime(format!("alloc result must be a buffer, got {other}")))
-                    }
-                };
-                let elem_bytes = elem.elem_byte_width().unwrap_or(4);
+            OpCode::Alloc {
+                mem,
+                shape,
+                elem_bytes,
+                is_int,
+            } => {
+                let mem = self.lookup_comp(frame, *mem)?;
                 let buf = self
                     .machine
-                    .alloc_buffer(mem, shape, elem_bytes, elem.is_integer())
+                    .alloc_buffer(mem, shape.clone(), *elem_bytes, *is_int)
                     .map_err(SimError::Runtime)?;
-                self.bind(frame, op, 0, SimValue::Buffer(buf));
+                self.bind(frame, info, 0, SimValue::Buffer(buf));
                 Ok(Step::Continue)
             }
-            "memref.alloc" => {
+            OpCode::MemrefAlloc {
+                shape,
+                elem_bytes,
+                is_int,
+            } => {
                 let host_mem = self.host_memory();
-                let rt = self.module.value_type(self.module.result(op, 0)).clone();
-                let (shape, elem) = match &rt {
-                    Type::MemRef { shape, elem } => (shape.clone(), (**elem).clone()),
-                    other => {
-                        return Err(SimError::Runtime(format!("memref.alloc result {other}")))
-                    }
-                };
-                let elem_bytes = elem.elem_byte_width().unwrap_or(4);
                 let buf = self
                     .machine
-                    .alloc_buffer(host_mem, shape, elem_bytes, elem.is_integer())
+                    .alloc_buffer(host_mem, shape.clone(), *elem_bytes, *is_int)
                     .map_err(SimError::Runtime)?;
-                self.bind(frame, op, 0, SimValue::Buffer(buf));
+                self.bind(frame, info, 0, SimValue::Buffer(buf));
                 Ok(Step::Continue)
             }
-            "equeue.dealloc" | "memref.dealloc" => {
-                let buf = self.lookup_buffer(frame, self.module.op(op).operands[0])?;
+            OpCode::Dealloc { buf } => {
+                let buf = self.lookup_buffer(frame, *buf)?;
                 self.machine.dealloc_buffer(buf);
                 Ok(Step::Continue)
             }
-            "equeue.read" => {
-                let view = read_view(self.module, op).map_err(SimError::Runtime)?;
-                let buf = self.lookup_buffer(frame, view.buffer)?;
-                let indices = self.lookup_indices(frame, &view.indices)?;
-                let conn = match view.conn {
-                    Some(c) => Some(match self.lookup(frame, c)? {
-                        SimValue::Connection(id) => id,
-                        other => {
-                            return Err(SimError::Runtime(format!("not a connection: {other}")))
-                        }
-                    }),
-                    None => None,
-                };
-                let (value, end) =
-                    self.access_buffer(p, AccessKind::Read, buf, &indices, None, conn, clock)?;
-                self.bind(frame, op, 0, value.expect("read produces a value"));
+            OpCode::Read {
+                buffer,
+                indices,
+                conn,
+            } => {
+                let buf = self.lookup_buffer(frame, *buffer)?;
+                let mut idx = IndexBuf::default();
+                self.read_indices(frame, indices, &mut idx)?;
+                let conn = self.lookup_conn(frame, *conn)?;
+                let (value, end) = self.access_buffer(
+                    p,
+                    AccessKind::Read,
+                    buf,
+                    idx.as_slice(),
+                    None,
+                    conn,
+                    clock,
+                )?;
+                self.bind(frame, info, 0, value.expect("read produces a value"));
                 self.advance(p, end)
             }
-            "equeue.write" => {
-                let view = write_view(self.module, op).map_err(SimError::Runtime)?;
-                let value = self.lookup(frame, view.value)?;
-                let buf = self.lookup_buffer(frame, view.buffer)?;
-                let indices = self.lookup_indices(frame, &view.indices)?;
-                let conn = match view.conn {
-                    Some(c) => Some(match self.lookup(frame, c)? {
-                        SimValue::Connection(id) => id,
-                        other => {
-                            return Err(SimError::Runtime(format!("not a connection: {other}")))
-                        }
-                    }),
-                    None => None,
-                };
+            OpCode::Write {
+                value,
+                buffer,
+                indices,
+                conn,
+            } => {
+                let value = self.lookup(frame, *value)?;
+                let buf = self.lookup_buffer(frame, *buffer)?;
+                let mut idx = IndexBuf::default();
+                self.read_indices(frame, indices, &mut idx)?;
+                let conn = self.lookup_conn(frame, *conn)?;
                 let (_, end) = self.access_buffer(
                     p,
                     AccessKind::Write,
                     buf,
-                    &indices,
+                    idx.as_slice(),
                     Some(value),
                     conn,
                     clock,
                 )?;
                 self.advance(p, end)
             }
-            "affine.load" => {
-                let operands = self.module.op(op).operands.clone();
-                let buf = self.lookup_buffer(frame, operands[0])?;
-                let indices = self.lookup_indices(frame, &operands[1..])?;
-                let (value, _) =
-                    self.access_buffer(p, AccessKind::Read, buf, &indices, None, None, clock)?;
-                self.bind(frame, op, 0, value.expect("load produces a value"));
-                let cycles = self.procs[p].profile.cycles("affine.load");
+            OpCode::AffineLoad { buffer, indices } => {
+                let buf = self.lookup_buffer(frame, *buffer)?;
+                let mut idx = IndexBuf::default();
+                self.read_indices(frame, indices, &mut idx)?;
+                let (value, _) = self.access_buffer(
+                    p,
+                    AccessKind::Read,
+                    buf,
+                    idx.as_slice(),
+                    None,
+                    None,
+                    clock,
+                )?;
+                self.bind(frame, info, 0, value.expect("load produces a value"));
+                let cycles = self.procs[p].hot.load;
                 self.advance(p, clock + cycles)
             }
-            "affine.store" => {
-                let operands = self.module.op(op).operands.clone();
-                let value = self.lookup(frame, operands[0])?;
-                let buf = self.lookup_buffer(frame, operands[1])?;
-                let indices = self.lookup_indices(frame, &operands[2..])?;
-                self.access_buffer(p, AccessKind::Write, buf, &indices, Some(value), None, clock)?;
-                let cycles = self.procs[p].profile.cycles("affine.store");
+            OpCode::AffineStore {
+                value,
+                buffer,
+                indices,
+            } => {
+                let value = self.lookup(frame, *value)?;
+                let buf = self.lookup_buffer(frame, *buffer)?;
+                let mut idx = IndexBuf::default();
+                self.read_indices(frame, indices, &mut idx)?;
+                self.access_buffer(
+                    p,
+                    AccessKind::Write,
+                    buf,
+                    idx.as_slice(),
+                    Some(value),
+                    None,
+                    clock,
+                )?;
+                let cycles = self.procs[p].hot.store;
                 self.advance(p, clock + cycles)
             }
 
             // ---- events and control ----
-            "equeue.memcpy" => {
-                let view = memcpy_view(self.module, op).map_err(SimError::Runtime)?;
-                let dep = self.lookup_signal(frame, view.dep)?;
-                let src = self.lookup_buffer(frame, view.src)?;
-                let dst = self.lookup_buffer(frame, view.dst)?;
-                let dma = self.lookup_comp(frame, view.dma)?;
-                let conn = match view.conn {
-                    Some(c) => Some(match self.lookup(frame, c)? {
-                        SimValue::Connection(id) => id,
-                        other => {
-                            return Err(SimError::Runtime(format!("not a connection: {other}")))
-                        }
-                    }),
-                    None => None,
-                };
+            OpCode::Memcpy {
+                dep,
+                src,
+                dst,
+                dma,
+                conn,
+            } => {
+                let dep = self.lookup_signal(frame, *dep)?;
+                let src = self.lookup_buffer(frame, *src)?;
+                let dst = self.lookup_buffer(frame, *dst)?;
+                let dma = self.lookup_comp(frame, *dma)?;
+                let conn = self.lookup_conn(frame, *conn)?;
                 let done = self.signals.fresh();
-                self.bind(frame, op, 0, SimValue::Signal(done));
-                let target = *self.proc_of_comp.get(&dma).ok_or_else(|| {
-                    SimError::Runtime("memcpy target is not an executor".into())
-                })?;
-                self.procs[target]
-                    .queue
-                    .push_back(PendingEvent { kind: EventKind::Memcpy { src, dst, conn }, dep, done });
+                self.bind(frame, info, 0, SimValue::Signal(done));
+                let target = *self
+                    .proc_of_comp
+                    .get(&dma)
+                    .ok_or_else(|| SimError::Runtime("memcpy target is not an executor".into()))?;
+                self.procs[target].queue.push_back(PendingEvent {
+                    kind: EventKind::Memcpy { src, dst, conn },
+                    dep,
+                    done,
+                });
                 self.schedule(clock, target);
                 Ok(Step::Continue)
             }
-            "equeue.launch" => {
-                let view = launch_view(self.module, op).map_err(SimError::Runtime)?;
-                let dep = self.lookup_signal(frame, view.dep)?;
-                let proc_comp = self.lookup_comp(frame, view.proc)?;
-                let region = self.module.op(op).regions[0];
-                // Snapshot free variables plus bind captures to block args.
-                let mut env: HashMap<ValueId, SimValue> = HashMap::new();
-                for fv in self.free_vars(region) {
-                    if let Some(v) = frame.env.get(&fv) {
-                        let v = if let SimValue::Deferred { signal, index } = v {
+            OpCode::Launch(l) => {
+                let dep = self.lookup_signal(frame, l.dep)?;
+                let proc_comp = self.lookup_comp(frame, l.proc)?;
+                // Snapshot exactly the values the body references (the
+                // pre-computed capture map), then bind explicit captures
+                // to block args. Copy-on-write makes each copy cheap.
+                let mut env: Vec<Option<SimValue>> = vec![None; l.frame_len];
+                for &(src, dst) in &l.captures {
+                    if let Some(v) = &frame.env[src as usize] {
+                        let v = if let SimValue::Deferred { signal, index } = *v {
                             self.signals
-                                .payload(*signal)
-                                .get(*index)
+                                .payload(signal)
+                                .get(index)
                                 .cloned()
-                                .unwrap_or(SimValue::Deferred { signal: *signal, index: *index })
+                                .unwrap_or(SimValue::Deferred { signal, index })
                         } else {
                             v.clone()
                         };
-                        env.insert(fv, v);
+                        env[dst as usize] = Some(v);
                     }
                 }
-                let args = self.module.block(view.body).args.clone();
-                for (&cap, &arg) in view.captures.iter().zip(args.iter()) {
-                    let v = self.lookup_lazy(frame, cap)?;
-                    env.insert(arg, v);
+                for &(src, dst) in &l.arg_binds {
+                    env[dst as usize] = Some(self.lookup_lazy(frame, src)?);
                 }
                 let done = self.signals.fresh();
-                self.bind(frame, op, 0, SimValue::Signal(done));
-                for (i, &res) in view.results.iter().enumerate() {
-                    frame.env.insert(res, SimValue::Deferred { signal: done, index: i });
+                self.bind(frame, info, 0, SimValue::Signal(done));
+                for i in 1..info.results.len() {
+                    frame.env[info.results[i] as usize] = Some(SimValue::Deferred {
+                        signal: done,
+                        index: i - 1,
+                    });
                 }
                 let target = *self.proc_of_comp.get(&proc_comp).ok_or_else(|| {
                     SimError::Runtime(format!(
@@ -933,46 +1826,37 @@ impl<'m> Engine<'m> {
                         self.machine.name(proc_comp)
                     ))
                 })?;
-                self.procs[target]
-                    .queue
-                    .push_back(PendingEvent { kind: EventKind::Launch { op, env }, dep, done });
+                self.procs[target].queue.push_back(PendingEvent {
+                    kind: EventKind::Launch { op, env },
+                    dep,
+                    done,
+                });
                 self.schedule(clock, target);
                 Ok(Step::Continue)
             }
-            "equeue.control_start" => {
+            OpCode::ControlStart => {
                 let sig = self.signals.resolved_at(clock);
-                self.bind(frame, op, 0, SimValue::Signal(sig));
+                self.bind(frame, info, 0, SimValue::Signal(sig));
                 Ok(Step::Continue)
             }
-            "equeue.control_and" | "equeue.control_or" => {
-                let deps: Vec<SignalId> = self
-                    .module
-                    .op(op)
-                    .operands
-                    .clone()
-                    .into_iter()
-                    .map(|v| self.lookup_signal(frame, v))
+            OpCode::Control { and, deps } => {
+                let deps: Vec<SignalId> = deps
+                    .iter()
+                    .map(|&s| self.lookup_signal(frame, s))
                     .collect::<Result<_, _>>()?;
-                let sig = if name == "equeue.control_and" {
+                let sig = if *and {
                     self.signals.new_and(&deps)
                 } else {
                     self.signals.new_or(&deps)
                 };
-                self.bind(frame, op, 0, SimValue::Signal(sig));
+                self.bind(frame, info, 0, SimValue::Signal(sig));
                 Ok(Step::Continue)
             }
-            "equeue.await" => {
-                let deps: Vec<SignalId> = self
-                    .module
-                    .op(op)
-                    .operands
-                    .clone()
-                    .into_iter()
-                    .map(|v| self.lookup_signal(frame, v))
-                    .collect::<Result<_, _>>()?;
+            OpCode::Await { deps } => {
                 let mut latest = clock;
-                for d in &deps {
-                    match self.signals.resolve_time(*d) {
+                for &d in deps {
+                    let sig = self.lookup_signal(frame, d)?;
+                    match self.signals.resolve_time(sig) {
                         Some(t) => latest = latest.max(t),
                         None => {
                             // Re-run this await when the signal fires.
@@ -986,162 +1870,166 @@ impl<'m> Engine<'m> {
                 self.procs[p].clock = latest;
                 Ok(Step::Continue)
             }
-            "equeue.return" => {
-                let payload: Vec<SimValue> = self
-                    .module
-                    .op(op)
-                    .operands
-                    .clone()
-                    .into_iter()
-                    .map(|v| self.lookup(frame, v))
+            OpCode::Return { values } => {
+                let payload: Vec<SimValue> = values
+                    .iter()
+                    .map(|&s| self.lookup(frame, s))
                     .collect::<Result<_, _>>()?;
                 self.finish_frame(p, frame, payload)
             }
-            "equeue.op" => {
-                let sig = self.attr_str(op, "signature")?;
-                // An explicit `cycles` attribute overrides the library, so
-                // generators can emit parameterised macro-ops; otherwise the
-                // signature must be implemented in the simulator library
-                // (§III-E).
-                let cycles = match self.module.op(op).attrs.int("cycles") {
-                    Some(c) => c.max(0) as u64,
-                    None => {
-                        self.lib
-                            .ext_op(&sig)
-                            .ok_or_else(|| {
-                                SimError::Unsupported(format!(
-                                    "no simulator-library implementation for equeue.op \
-                                     signature '{sig}'"
-                                ))
-                            })?
-                            .cycles
-                    }
-                };
-                for (i, _) in self.module.op(op).results.clone().iter().enumerate() {
-                    self.bind(frame, op, i, SimValue::Unit);
+            OpCode::ExtOp { sig, cycles } => {
+                let cycles = cycles.ok_or_else(|| {
+                    SimError::Unsupported(format!(
+                        "no simulator-library implementation for equeue.op signature '{sig}'"
+                    ))
+                })?;
+                for i in 0..info.results.len() {
+                    self.bind(frame, info, i, SimValue::Unit);
                 }
                 let end = clock + cycles;
-                let tid = self.machine.name(self.procs[p].comp).to_string();
-                self.trace.record(&sig, TraceCat::Operation, clock, cycles, "Processor", &tid);
+                if self.trace.is_enabled() {
+                    let tid = self.machine.name(self.procs[p].comp).to_string();
+                    self.trace
+                        .record(sig, TraceCat::Operation, clock, cycles, "Processor", &tid);
+                }
                 self.advance(p, end)
             }
 
             // ---- loops ----
-            "affine.for" => {
-                let attrs = &self.module.op(op).attrs;
-                let (lower, upper, step) = (
-                    attrs.int("lower").unwrap_or(0),
-                    attrs.int("upper").unwrap_or(0),
-                    attrs.int("step").unwrap_or(1),
-                );
-                let region = self.module.op(op).regions[0];
-                let body = self.module.region(region).blocks[0];
-                let iv = self.module.block(body).args[0];
+            OpCode::For {
+                lower,
+                upper,
+                step,
+                body,
+                iv,
+            } => {
                 if lower < upper {
-                    frame.env.insert(iv, SimValue::Int(lower));
+                    frame.env[*iv as usize] = Some(SimValue::Int(*lower));
                     frame.stack.push(Scope {
-                        block: body,
+                        block: *body,
                         idx: 0,
                         looping: Some(LoopState {
-                            ivs: vec![iv],
-                            lowers: vec![lower],
-                            uppers: vec![upper],
-                            steps: vec![step],
-                            current: vec![lower],
+                            ivs: vec![*iv],
+                            lowers: vec![*lower],
+                            uppers: vec![*upper],
+                            steps: vec![*step],
+                            current: vec![*lower],
                         }),
                     });
                 }
                 Ok(Step::Continue)
             }
-            "affine.parallel" => {
+            OpCode::Parallel {
+                lowers,
+                uppers,
+                steps,
+                body,
+                ivs,
+            } => {
                 // Interpreted sequentially at the Affine level; the
                 // --parallel-to-equeue pass lowers it to true concurrency.
-                let attrs = &self.module.op(op).attrs;
-                let lowers = attrs.int_array("lowers").unwrap_or(&[]).to_vec();
-                let uppers = attrs.int_array("uppers").unwrap_or(&[]).to_vec();
-                let steps = attrs.int_array("steps").unwrap_or(&[]).to_vec();
-                let region = self.module.op(op).regions[0];
-                let body = self.module.region(region).blocks[0];
-                let ivs = self.module.block(body).args.clone();
-                let live = lowers.iter().zip(&uppers).all(|(l, u)| l < u);
+                let live = lowers.iter().zip(uppers).all(|(l, u)| l < u);
                 if live {
-                    for (iv, v) in ivs.iter().zip(&lowers) {
-                        frame.env.insert(*iv, SimValue::Int(*v));
+                    for (&iv, &v) in ivs.iter().zip(lowers.iter()) {
+                        frame.env[iv as usize] = Some(SimValue::Int(v));
                     }
                     frame.stack.push(Scope {
-                        block: body,
+                        block: *body,
                         idx: 0,
                         looping: Some(LoopState {
-                            ivs,
+                            ivs: ivs.clone(),
                             lowers: lowers.clone(),
-                            uppers,
-                            steps,
-                            current: lowers,
+                            uppers: uppers.clone(),
+                            steps: steps.clone(),
+                            current: lowers.clone(),
                         }),
                     });
                 }
                 Ok(Step::Continue)
             }
-            "affine.yield" => Ok(Step::Continue),
+            OpCode::Yield => Ok(Step::Continue),
 
             // ---- linalg (analytic + functional) ----
-            "linalg.conv2d" => self.exec_conv2d(p, frame, op),
-            "linalg.matmul" => self.exec_matmul(p, frame, op),
-            "linalg.fill" => self.exec_fill(p, frame, op),
+            OpCode::Conv2d {
+                dims,
+                ifmap,
+                weights,
+                ofmap,
+            } => self.exec_conv2d(p, frame, *dims, *ifmap, *weights, *ofmap),
+            OpCode::Matmul { a, b, c } => self.exec_matmul(p, frame, *a, *b, *c),
+            OpCode::Fill { scalar, buffer } => self.exec_fill(p, frame, *scalar, *buffer),
 
             // ---- arith ----
-            "arith.constant" => {
-                let attrs = &self.module.op(op).attrs;
-                let rt = self.module.value_type(self.module.result(op, 0)).clone();
-                let v = if rt.is_float() {
-                    SimValue::Float(attrs.float("value").unwrap_or(0.0))
-                } else {
-                    SimValue::Int(attrs.int("value").unwrap_or(0))
-                };
-                self.bind(frame, op, 0, v);
+            OpCode::Constant(v) => {
+                self.bind(frame, info, 0, v.clone());
                 Ok(Step::Continue)
             }
-            "arith.cmpi" => {
-                let pred = self.attr_str(op, "predicate")?;
-                let operands = self.module.op(op).operands.clone();
-                let a = self.lookup(frame, operands[0])?;
-                let b = self.lookup(frame, operands[1])?;
-                let v = apply_cmpi(&pred, &a, &b).map_err(SimError::Runtime)?;
-                self.bind(frame, op, 0, v);
-                let cycles = self.procs[p].profile.cycles(&name);
+            OpCode::Cmpi { pred, lhs, rhs } => {
+                let a = self.lookup(frame, *lhs)?;
+                let b = self.lookup(frame, *rhs)?;
+                let v = apply_cmpi(pred, &a, &b).map_err(SimError::Runtime)?;
+                self.bind(frame, info, 0, v);
+                let cycles = self.procs[p].hot.cmpi;
                 self.advance(p, clock + cycles)
             }
-            "arith.select" => {
-                let operands = self.module.op(op).operands.clone();
-                let c = self.lookup(frame, operands[0])?;
+            OpCode::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let c = self.lookup(frame, *cond)?;
                 let v = if c.as_int().unwrap_or(0) != 0 {
-                    self.lookup(frame, operands[1])?
+                    self.lookup(frame, *on_true)?
                 } else {
-                    self.lookup(frame, operands[2])?
+                    self.lookup(frame, *on_false)?
                 };
-                self.bind(frame, op, 0, v);
-                let cycles = self.procs[p].profile.cycles(&name);
+                self.bind(frame, info, 0, v);
+                let cycles = self.procs[p].hot.select;
                 self.advance(p, clock + cycles)
             }
-            _ if name.starts_with("arith.") => {
-                let operands = self.module.op(op).operands.clone();
-                let a = self.lookup(frame, operands[0])?;
-                let b = self.lookup(frame, operands[1])?;
-                let v = apply_binary(&name, &a, &b).map_err(SimError::Runtime)?;
-                self.bind(frame, op, 0, v);
+            OpCode::Binary {
+                kind,
+                name,
+                lhs,
+                rhs,
+                index_typed,
+            } => {
+                let a = self.lookup(frame, *lhs)?;
+                let b = self.lookup(frame, *rhs)?;
+                // Scalar fast path on the pre-decoded operator; tensors,
+                // promotions, and unknown names take the generic route.
+                let v = match (kind, &a, &b) {
+                    (Some(op), SimValue::Int(x), SimValue::Int(y)) => {
+                        SimValue::Int(op.int(*x, *y).map_err(SimError::Runtime)?)
+                    }
+                    (Some(op), SimValue::Float(x), SimValue::Float(y)) => {
+                        SimValue::Float(op.float(*x, *y))
+                    }
+                    _ => apply_binary(name, &a, &b).map_err(SimError::Runtime)?,
+                };
+                self.bind(frame, info, 0, v);
                 // Index-typed arithmetic is address generation, which the
                 // memory pipeline absorbs; it costs no datapath cycles.
-                let is_index =
-                    *self.module.value_type(self.module.result(op, 0)) == Type::Index;
-                let cycles =
-                    if is_index { 0 } else { self.procs[p].profile.cycles(&name) };
-                if cycles > 0 {
+                let cycles = if *index_typed {
+                    0
+                } else {
+                    match kind {
+                        Some(op) => self.procs[p].hot.arith[*op as usize],
+                        None => self.procs[p].profile.cycles(name),
+                    }
+                };
+                if cycles > 0 && self.trace.is_enabled() {
                     let tid = self.machine.name(self.procs[p].comp).to_string();
-                    self.trace.record(&name, TraceCat::Operation, clock, cycles, "Processor", &tid);
+                    self.trace
+                        .record(name, TraceCat::Operation, clock, cycles, "Processor", &tid);
                 }
                 self.advance(p, clock + cycles)
             }
-            other => Err(SimError::Unsupported(format!("op '{other}' is not simulatable"))),
+
+            OpCode::Invalid(msg) => Err(SimError::Runtime(msg.clone())),
+            OpCode::Unsupported(name) => Err(SimError::Unsupported(format!(
+                "op '{name}' is not simulatable"
+            ))),
         }
     }
 
@@ -1159,27 +2047,32 @@ impl<'m> Engine<'m> {
         conn: Option<crate::value::ConnId>,
         start: u64,
     ) -> Result<(Option<SimValue>, u64), SimError> {
-        let (mem, elem_bytes, base_addr, total_elems) = {
+        let (mem, elem_bytes, base_addr, total_elems, flat) = {
             let b = self.machine.buffer(buf);
-            (b.mem, b.elem_bytes, b.base_addr, b.elems())
+            let flat = if indices.is_empty() {
+                None
+            } else {
+                Some(b.data.flatten_index(indices))
+            };
+            (b.mem, b.elem_bytes, b.base_addr, b.elems(), flat)
         };
         let elems = if indices.is_empty() { total_elems } else { 1 };
         let bytes = (elems * elem_bytes) as u64;
-        let addr = if indices.is_empty() {
-            base_addr
-        } else {
-            let b = self.machine.buffer(buf);
-            base_addr + b.data.flatten_index(indices)
-        };
+        let addr = base_addr + flat.unwrap_or(0);
         let banks = self.machine.memory(mem).banks;
-        let mem_cycles =
-            self.machine.memory_mut(mem).behavior.access_cycles(kind, addr, elems, banks);
+        let mem_cycles = self
+            .machine
+            .memory_mut(mem)
+            .behavior
+            .access_cycles(kind, addr, elems, banks);
         let (mstart, mend) = self.machine.memory_mut(mem).reserve(start, mem_cycles);
         let mut end = mend;
         let mut astart = if mem_cycles > 0 { mstart } else { start };
         if let Some(c) = conn {
-            let (cstart, cend) =
-                self.machine.connection_mut(c).reserve_spanning(kind, start, bytes, mem_cycles);
+            let (cstart, cend) = self
+                .machine
+                .connection_mut(c)
+                .reserve_spanning(kind, start, bytes, mem_cycles);
             end = end.max(cend);
             astart = astart.max(cstart.min(end));
         }
@@ -1189,73 +2082,110 @@ impl<'m> Engine<'m> {
         let out = match kind {
             AccessKind::Read => {
                 let b = self.machine.buffer(buf);
-                if indices.is_empty() {
-                    if total_elems == 1 {
-                        Some(element_value(&b.data, 0))
-                    } else {
-                        Some(SimValue::Tensor(b.data.clone()))
-                    }
-                } else {
-                    let flat = b.data.flatten_index(indices);
-                    Some(element_value(&b.data, flat))
+                match flat {
+                    None if total_elems == 1 => Some(element_value(&b.data, 0)),
+                    // Copy-on-write: cloning the tensor is an Arc bump.
+                    None => Some(SimValue::Tensor(b.data.clone())),
+                    Some(flat) => Some(element_value(&b.data, flat)),
                 }
             }
             AccessKind::Write => {
                 let v = value.expect("write needs a value");
                 let b = self.machine.buffer_mut(buf);
-                write_value(b, indices, v).map_err(SimError::Runtime)?;
+                write_value(b, flat, v).map_err(SimError::Runtime)?;
                 None
             }
         };
 
         // Trace: stall slot (schedule-queue wait) then the operation slot.
-        if end > start {
+        if end > start && self.trace.is_enabled() {
             let tid = self.machine.name(self.procs[p].comp).to_string();
             if astart > start {
-                self.trace.record("stall", TraceCat::Stall, start, astart - start, "Processor", &tid);
+                self.trace.record(
+                    "stall",
+                    TraceCat::Stall,
+                    start,
+                    astart - start,
+                    "Processor",
+                    &tid,
+                );
             }
             let opname = match kind {
                 AccessKind::Read => "equeue.read",
                 AccessKind::Write => "equeue.write",
             };
-            self.trace.record(opname, TraceCat::Operation, astart, end - astart, "Processor", &tid);
+            self.trace.record(
+                opname,
+                TraceCat::Operation,
+                astart,
+                end - astart,
+                "Processor",
+                &tid,
+            );
         }
         Ok((out, end))
     }
 
-    fn exec_conv2d(&mut self, p: usize, frame: &mut Frame, op: OpId) -> Result<Step, SimError> {
-        let dims = conv2d_dims(self.module, op).map_err(SimError::Runtime)?;
-        let operands = self.module.op(op).operands.clone();
-        let ifmap = self.lookup_buffer(frame, operands[0])?;
-        let weights = self.lookup_buffer(frame, operands[1])?;
-        let ofmap = self.lookup_buffer(frame, operands[2])?;
+    fn exec_conv2d(
+        &mut self,
+        p: usize,
+        frame: &mut Frame,
+        dims: ConvDims,
+        ifmap: Slot,
+        weights: Slot,
+        ofmap: Slot,
+    ) -> Result<Step, SimError> {
+        let ifmap = self.lookup_buffer(frame, ifmap)?;
+        let weights = self.lookup_buffer(frame, weights)?;
+        let ofmap = self.lookup_buffer(frame, ofmap)?;
         // Functional result.
         let iv = int_data(&self.machine.buffer(ifmap).data)?;
         let wv = int_data(&self.machine.buffer(weights).data)?;
         let mut ov = vec![0i64; dims.ofmap_elems()];
-        conv2d_int(&iv, &wv, &mut ov, dims.c, dims.h, dims.w, dims.n, dims.fh, dims.fw);
+        conv2d_int(
+            &iv, &wv, &mut ov, dims.c, dims.h, dims.w, dims.n, dims.fh, dims.fw,
+        );
         set_int_data(&mut self.machine.buffer_mut(ofmap).data, ov);
         // Analytic timing: a naive scalar schedule costs
         // `linalg_cycles_per_mac` per MAC, streaming operands once.
         let clock = self.procs[p].clock;
         let cycles = dims.macs() as u64 * self.lib.linalg_cycles_per_mac;
-        for (buf, kind) in [(ifmap, AccessKind::Read), (weights, AccessKind::Read), (ofmap, AccessKind::Write)] {
+        for (buf, kind) in [
+            (ifmap, AccessKind::Read),
+            (weights, AccessKind::Read),
+            (ofmap, AccessKind::Write),
+        ] {
             let (mem, bytes) = {
                 let b = self.machine.buffer(buf);
                 (b.mem, b.bytes() as u64)
             };
             self.machine.memory_mut(mem).count(kind, bytes);
         }
-        let tid = self.machine.name(self.procs[p].comp).to_string();
-        self.trace.record("linalg.conv2d", TraceCat::Operation, clock, cycles, "Processor", &tid);
+        if self.trace.is_enabled() {
+            let tid = self.machine.name(self.procs[p].comp).to_string();
+            self.trace.record(
+                "linalg.conv2d",
+                TraceCat::Operation,
+                clock,
+                cycles,
+                "Processor",
+                &tid,
+            );
+        }
         self.advance(p, clock + cycles)
     }
 
-    fn exec_matmul(&mut self, p: usize, frame: &mut Frame, op: OpId) -> Result<Step, SimError> {
-        let operands = self.module.op(op).operands.clone();
-        let a = self.lookup_buffer(frame, operands[0])?;
-        let b = self.lookup_buffer(frame, operands[1])?;
-        let c = self.lookup_buffer(frame, operands[2])?;
+    fn exec_matmul(
+        &mut self,
+        p: usize,
+        frame: &mut Frame,
+        a: Slot,
+        b: Slot,
+        c: Slot,
+    ) -> Result<Step, SimError> {
+        let a = self.lookup_buffer(frame, a)?;
+        let b = self.lookup_buffer(frame, b)?;
+        let c = self.lookup_buffer(frame, c)?;
         let (m, k) = {
             let s = &self.machine.buffer(a).shape;
             (s[0], s[1])
@@ -1268,25 +2198,44 @@ impl<'m> Engine<'m> {
         set_int_data(&mut self.machine.buffer_mut(c).data, cv);
         let clock = self.procs[p].clock;
         let cycles = (m * n * k) as u64 * self.lib.linalg_cycles_per_mac;
-        let tid = self.machine.name(self.procs[p].comp).to_string();
-        self.trace.record("linalg.matmul", TraceCat::Operation, clock, cycles, "Processor", &tid);
+        if self.trace.is_enabled() {
+            let tid = self.machine.name(self.procs[p].comp).to_string();
+            self.trace.record(
+                "linalg.matmul",
+                TraceCat::Operation,
+                clock,
+                cycles,
+                "Processor",
+                &tid,
+            );
+        }
         self.advance(p, clock + cycles)
     }
 
-    fn exec_fill(&mut self, p: usize, frame: &mut Frame, op: OpId) -> Result<Step, SimError> {
-        let operands = self.module.op(op).operands.clone();
-        let scalar = self.lookup(frame, operands[0])?;
-        let buf = self.lookup_buffer(frame, operands[1])?;
+    fn exec_fill(
+        &mut self,
+        p: usize,
+        frame: &mut Frame,
+        scalar: Slot,
+        buffer: Slot,
+    ) -> Result<Step, SimError> {
+        let scalar = self.lookup(frame, scalar)?;
+        let buf = self.lookup_buffer(frame, buffer)?;
         let elems = self.machine.buffer(buf).elems();
         let b = self.machine.buffer_mut(buf);
         match (&mut b.data.data, &scalar) {
-            (TensorData::Int(v), s) => {
-                let x = s.as_int().ok_or_else(|| SimError::Runtime("fill type mismatch".into()))?;
+            (TensorData::Int(_), s) => {
+                let x = s
+                    .as_int()
+                    .ok_or_else(|| SimError::Runtime("fill type mismatch".into()))?;
+                let v = b.data.data.make_ints_mut().expect("int payload");
                 v.iter_mut().for_each(|e| *e = x);
             }
-            (TensorData::Float(v), s) => {
-                let x =
-                    s.as_float().ok_or_else(|| SimError::Runtime("fill type mismatch".into()))?;
+            (TensorData::Float(_), s) => {
+                let x = s
+                    .as_float()
+                    .ok_or_else(|| SimError::Runtime("fill type mismatch".into()))?;
+                let v = b.data.data.make_floats_mut().expect("float payload");
                 v.iter_mut().for_each(|e| *e = x);
             }
         }
@@ -1305,22 +2254,6 @@ impl<'m> Engine<'m> {
         } else {
             Ok(Step::Continue)
         }
-    }
-
-    fn bind(&mut self, frame: &mut Frame, op: OpId, index: usize, value: SimValue) {
-        let vid = self.module.result(op, index);
-        frame.env.insert(vid, value);
-    }
-
-    fn attr_str(&self, op: OpId, name: &str) -> Result<String, SimError> {
-        self.module
-            .op(op)
-            .attrs
-            .str(name)
-            .map(str::to_string)
-            .ok_or_else(|| {
-                SimError::Runtime(format!("op '{}' missing attribute '{name}'", self.module.op(op).name))
-            })
     }
 
     /// The implicit host memory backing `memref.alloc` (unbounded,
@@ -1350,27 +2283,29 @@ fn element_value(t: &Tensor, flat: usize) -> SimValue {
     }
 }
 
-fn int_data(t: &Tensor) -> Result<Vec<i64>, SimError> {
+/// Borrowed view of an integer payload (an Arc clone, not a data copy).
+fn int_data(t: &Tensor) -> Result<std::sync::Arc<Vec<i64>>, SimError> {
     match &t.data {
         TensorData::Int(v) => Ok(v.clone()),
-        TensorData::Float(_) => {
-            Err(SimError::Unsupported("linalg ops require integer buffers in this model".into()))
-        }
+        TensorData::Float(_) => Err(SimError::Unsupported(
+            "linalg ops require integer buffers in this model".into(),
+        )),
     }
 }
 
 fn set_int_data(t: &mut Tensor, v: Vec<i64>) {
-    t.data = TensorData::Int(v);
+    t.data = TensorData::from_ints(v);
 }
 
-/// Writes `value` into `buffer` (whole-buffer or element-wise).
+/// Writes `value` into `buffer`: whole-buffer when `flat` is `None`,
+/// element-wise at the pre-flattened index otherwise.
 fn write_value(
     buffer: &mut crate::machine::Buffer,
-    indices: &[usize],
+    flat: Option<usize>,
     value: SimValue,
 ) -> Result<(), String> {
-    if indices.is_empty() {
-        match (&mut buffer.data.data, value) {
+    let Some(flat) = flat else {
+        match (&buffer.data.data, value) {
             (TensorData::Int(dst), SimValue::Tensor(t)) => match t.data {
                 TensorData::Int(src) => {
                     if src.len() != dst.len() {
@@ -1380,40 +2315,54 @@ fn write_value(
                             dst.len()
                         ));
                     }
-                    dst.copy_from_slice(&src);
+                    // Whole-tensor write: share the payload (copy-on-write).
+                    buffer.data.data = TensorData::Int(src);
                 }
-                TensorData::Float(_) => return Err("write mixes float tensor into int buffer".into()),
+                TensorData::Float(_) => {
+                    return Err("write mixes float tensor into int buffer".into())
+                }
             },
             (TensorData::Float(dst), SimValue::Tensor(t)) => match t.data {
                 TensorData::Float(src) => {
                     if src.len() != dst.len() {
                         return Err("write size mismatch".into());
                     }
-                    dst.copy_from_slice(&src);
+                    buffer.data.data = TensorData::Float(src);
                 }
                 TensorData::Int(_) => return Err("write mixes int tensor into float buffer".into()),
             },
-            (TensorData::Int(dst), SimValue::Int(v)) => dst.iter_mut().for_each(|e| *e = v),
-            (TensorData::Float(dst), SimValue::Float(v)) => dst.iter_mut().for_each(|e| *e = v),
-            (TensorData::Float(dst), SimValue::Int(v)) => {
-                dst.iter_mut().for_each(|e| *e = v as f64)
+            (TensorData::Int(_), SimValue::Int(v)) => {
+                let dst = buffer.data.data.make_ints_mut().expect("int payload");
+                dst.iter_mut().for_each(|e| *e = v);
+            }
+            (TensorData::Float(_), SimValue::Float(v)) => {
+                let dst = buffer.data.data.make_floats_mut().expect("float payload");
+                dst.iter_mut().for_each(|e| *e = v);
+            }
+            (TensorData::Float(_), SimValue::Int(v)) => {
+                let dst = buffer.data.data.make_floats_mut().expect("float payload");
+                dst.iter_mut().for_each(|e| *e = v as f64);
             }
             (_, SimValue::Unit) => {} // opaque ext-op results: timing-only
             (_, other) => return Err(format!("cannot write {other} into buffer")),
         }
         return Ok(());
-    }
-    let flat = buffer.data.flatten_index(indices);
-    match (&mut buffer.data.data, value) {
-        (TensorData::Int(dst), SimValue::Int(v)) => dst[flat] = v,
-        (TensorData::Float(dst), SimValue::Float(v)) => dst[flat] = v,
-        (TensorData::Float(dst), SimValue::Int(v)) => dst[flat] = v as f64,
+    };
+    match (&buffer.data.data, value) {
+        (TensorData::Int(_), SimValue::Int(v)) => {
+            buffer.data.data.make_ints_mut().expect("int payload")[flat] = v;
+        }
+        (TensorData::Float(_), SimValue::Float(v)) => {
+            buffer.data.data.make_floats_mut().expect("float payload")[flat] = v;
+        }
+        (TensorData::Float(_), SimValue::Int(v)) => {
+            buffer.data.data.make_floats_mut().expect("float payload")[flat] = v as f64;
+        }
         (_, SimValue::Unit) => {}
         (_, other) => return Err(format!("cannot write {other} at index")),
     }
     Ok(())
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1647,6 +2596,94 @@ mod tests {
         b.await_all(vec![done]);
         let err = simulate(&m).unwrap_err();
         assert!(matches!(err, SimError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_dead_op_does_not_poison_simulation() {
+        // A wrong-arity op the program never executes (dead code after
+        // `equeue.return`) must not break the prepass: it decodes to
+        // `OpCode::Invalid` and errors only if actually run — the lazy
+        // semantics of the original interpreter.
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let start = b.control_start();
+        let l = b.launch(start, pe, &[], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.ext_op("mac", vec![], vec![]);
+            ib.ret(vec![]);
+            // Dead and malformed: get_comp with zero operands.
+            ib.op("equeue.get_comp").attr("name", "kid").finish();
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+        let report = simulate(&m).expect("malformed dead op must be ignored");
+        assert_eq!(report.cycles, 1);
+    }
+
+    #[test]
+    fn malformed_op_errors_only_when_executed() {
+        // The same wrong-arity op on the live path raises a runtime error
+        // (not a panic).
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let start = b.control_start();
+        let l = b.launch(start, pe, &[], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.op("equeue.get_comp").attr("name", "kid").finish();
+            ib.ret(vec![]);
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+        let err = simulate(&m).unwrap_err();
+        assert!(matches!(err, SimError::Runtime(_)), "{err}");
+    }
+
+    #[test]
+    fn disabled_trace_stays_empty() {
+        // With `trace: false` the engine must produce an empty Trace —
+        // and (by construction) skip all trace formatting on the hot path.
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let mem = b.create_mem(kinds::SRAM, &[16], 32, 4);
+        let buf = b.alloc(mem, &[8], Type::I32);
+        let dma = b.create_dma();
+        let dst_mem = b.create_mem(kinds::REGISTER, &[8], 32, 1);
+        let dst = b.alloc(dst_mem, &[8], Type::I32);
+        let start = b.control_start();
+        let copied = b.memcpy(start, buf, dst, dma, None);
+        let l = b.launch(copied, pe, &[buf], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.read(l.body_args[0], None);
+            ib.ext_op("mac", vec![], vec![]);
+            ib.ret(vec![]);
+        }
+        let done = l.done;
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        b.await_all(vec![done]);
+
+        let lib = SimLibrary::standard();
+        let quiet = SimOptions {
+            trace: false,
+            ..Default::default()
+        };
+        let report = simulate_with(&m, &lib, &quiet).unwrap();
+        assert!(report.trace.is_empty());
+        assert!(!report.trace.is_enabled());
+        // Same program with tracing on records events — and the same cycles.
+        let loud = simulate(&m).unwrap();
+        assert!(!loud.trace.is_empty());
+        assert_eq!(loud.cycles, report.cycles);
     }
 
     #[test]

@@ -45,93 +45,171 @@ fn scalar(v: &SimValue) -> bool {
     matches!(v, SimValue::Int(_) | SimValue::Float(_))
 }
 
+/// A binary `arith` operator. The single source of truth for scalar
+/// semantics: both [`apply_binary`] (via `int_op`/`float_op`) and the
+/// engine's pre-decoded fast path dispatch through it, so the two can
+/// never drift. Int/float behaviours mirror each other, including the
+/// historical `addi`-accepted-on-floats promotions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Addi,
+    Addf,
+    Subi,
+    Muli,
+    Mulf,
+    Divi,
+    Remi,
+}
+
+impl BinOp {
+    pub(crate) const COUNT: usize = 7;
+    pub(crate) const ALL: [BinOp; BinOp::COUNT] = [
+        BinOp::Addi,
+        BinOp::Addf,
+        BinOp::Subi,
+        BinOp::Muli,
+        BinOp::Mulf,
+        BinOp::Divi,
+        BinOp::Remi,
+    ];
+
+    pub(crate) fn from_name(name: &str) -> Option<BinOp> {
+        Some(match name {
+            "arith.addi" => BinOp::Addi,
+            "arith.addf" => BinOp::Addf,
+            "arith.subi" => BinOp::Subi,
+            "arith.muli" => BinOp::Muli,
+            "arith.mulf" => BinOp::Mulf,
+            "arith.divi" => BinOp::Divi,
+            "arith.remi" => BinOp::Remi,
+            _ => None?,
+        })
+    }
+
+    /// The op name, e.g. for per-processor profile lookups.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            BinOp::Addi => "arith.addi",
+            BinOp::Addf => "arith.addf",
+            BinOp::Subi => "arith.subi",
+            BinOp::Muli => "arith.muli",
+            BinOp::Mulf => "arith.mulf",
+            BinOp::Divi => "arith.divi",
+            BinOp::Remi => "arith.remi",
+        }
+    }
+
+    pub(crate) fn int(self, a: i64, b: i64) -> Result<i64, String> {
+        Ok(match self {
+            BinOp::Addi | BinOp::Addf => a.wrapping_add(b),
+            BinOp::Subi => a.wrapping_sub(b),
+            BinOp::Muli | BinOp::Mulf => a.wrapping_mul(b),
+            BinOp::Divi => {
+                if b == 0 {
+                    return Err("integer division by zero".into());
+                }
+                a / b
+            }
+            BinOp::Remi => {
+                if b == 0 {
+                    return Err("integer remainder by zero".into());
+                }
+                a % b
+            }
+        })
+    }
+
+    pub(crate) fn float(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Addi | BinOp::Addf => a + b,
+            BinOp::Subi => a - b,
+            BinOp::Muli | BinOp::Mulf => a * b,
+            BinOp::Divi => a / b,
+            BinOp::Remi => a % b,
+        }
+    }
+}
+
+fn bin_op(name: &str) -> Result<BinOp, String> {
+    BinOp::from_name(name).ok_or_else(|| format!("unknown binary op '{name}'"))
+}
+
 fn int_op(name: &str, a: i64, b: i64) -> Result<SimValue, String> {
-    Ok(SimValue::Int(match name {
-        "arith.addi" | "arith.addf" => a.wrapping_add(b),
-        "arith.subi" => a.wrapping_sub(b),
-        "arith.muli" | "arith.mulf" => a.wrapping_mul(b),
-        "arith.divi" => {
-            if b == 0 {
-                return Err("integer division by zero".into());
-            }
-            a / b
-        }
-        "arith.remi" => {
-            if b == 0 {
-                return Err("integer remainder by zero".into());
-            }
-            a % b
-        }
-        _ => return Err(format!("unknown binary op '{name}'")),
-    }))
+    Ok(SimValue::Int(bin_op(name)?.int(a, b)?))
 }
 
 fn float_op(name: &str, a: f64, b: f64) -> Result<SimValue, String> {
-    Ok(SimValue::Float(match name {
-        "arith.addi" | "arith.addf" => a + b,
-        "arith.subi" => a - b,
-        "arith.muli" | "arith.mulf" => a * b,
-        "arith.divi" => a / b,
-        "arith.remi" => a % b,
-        _ => return Err(format!("unknown binary op '{name}'")),
-    }))
+    Ok(SimValue::Float(bin_op(name)?.float(a, b)))
 }
 
 fn zip_tensors(name: &str, a: &Tensor, b: &Tensor) -> Result<SimValue, String> {
     let data = match (&a.data, &b.data) {
         (TensorData::Int(x), TensorData::Int(y)) => {
             let mut out = Vec::with_capacity(x.len());
-            for (xa, yb) in x.iter().zip(y) {
+            for (xa, yb) in x.iter().zip(y.iter()) {
                 match int_op(name, *xa, *yb)? {
                     SimValue::Int(v) => out.push(v),
                     _ => unreachable!(),
                 }
             }
-            TensorData::Int(out)
+            TensorData::from_ints(out)
         }
         (TensorData::Float(x), TensorData::Float(y)) => {
             let mut out = Vec::with_capacity(x.len());
-            for (xa, yb) in x.iter().zip(y) {
+            for (xa, yb) in x.iter().zip(y.iter()) {
                 match float_op(name, *xa, *yb)? {
                     SimValue::Float(v) => out.push(v),
                     _ => unreachable!(),
                 }
             }
-            TensorData::Float(out)
+            TensorData::from_floats(out)
         }
         _ => return Err(format!("'{name}' mixes int and float tensors")),
     };
-    Ok(SimValue::Tensor(Tensor { shape: a.shape.clone(), data }))
+    Ok(SimValue::Tensor(Tensor {
+        shape: a.shape.clone(),
+        data,
+    }))
 }
 
-fn map_tensor(name: &str, t: &Tensor, s: &SimValue, scalar_first: bool) -> Result<SimValue, String> {
+fn map_tensor(
+    name: &str,
+    t: &Tensor,
+    s: &SimValue,
+    scalar_first: bool,
+) -> Result<SimValue, String> {
     let data = match &t.data {
         TensorData::Int(x) => {
-            let sv = s.as_int().ok_or_else(|| format!("'{name}' mixes int tensor and float"))?;
+            let sv = s
+                .as_int()
+                .ok_or_else(|| format!("'{name}' mixes int tensor and float"))?;
             let mut out = Vec::with_capacity(x.len());
-            for &xa in x {
+            for &xa in x.iter() {
                 let (a, b) = if scalar_first { (sv, xa) } else { (xa, sv) };
                 match int_op(name, a, b)? {
                     SimValue::Int(v) => out.push(v),
                     _ => unreachable!(),
                 }
             }
-            TensorData::Int(out)
+            TensorData::from_ints(out)
         }
         TensorData::Float(x) => {
             let sv = s.as_float().ok_or_else(|| format!("'{name}' bad scalar"))?;
             let mut out = Vec::with_capacity(x.len());
-            for &xa in x {
+            for &xa in x.iter() {
                 let (a, b) = if scalar_first { (sv, xa) } else { (xa, sv) };
                 match float_op(name, a, b)? {
                     SimValue::Float(v) => out.push(v),
                     _ => unreachable!(),
                 }
             }
-            TensorData::Float(out)
+            TensorData::from_floats(out)
         }
     };
-    Ok(SimValue::Tensor(Tensor { shape: t.shape.clone(), data }))
+    Ok(SimValue::Tensor(Tensor {
+        shape: t.shape.clone(),
+        data,
+    }))
 }
 
 /// Applies `arith.cmpi` with the given predicate string.
@@ -159,6 +237,7 @@ pub fn apply_cmpi(pred: &str, lhs: &SimValue, rhs: &SimValue) -> Result<SimValue
 ///
 /// Layouts: ifmap `[C][H][W]`, weights `[N][C][Fh][Fw]`, ofmap
 /// `[N][Eh][Ew]` — all flattened row-major.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d_int(
     ifmap: &[i64],
     weights: &[i64],
@@ -210,11 +289,26 @@ mod tests {
 
     #[test]
     fn int_scalar_ops() {
-        assert_eq!(apply_binary("arith.addi", &SimValue::Int(2), &SimValue::Int(3)).unwrap(), SimValue::Int(5));
-        assert_eq!(apply_binary("arith.subi", &SimValue::Int(2), &SimValue::Int(3)).unwrap(), SimValue::Int(-1));
-        assert_eq!(apply_binary("arith.muli", &SimValue::Int(4), &SimValue::Int(3)).unwrap(), SimValue::Int(12));
-        assert_eq!(apply_binary("arith.divi", &SimValue::Int(7), &SimValue::Int(2)).unwrap(), SimValue::Int(3));
-        assert_eq!(apply_binary("arith.remi", &SimValue::Int(7), &SimValue::Int(2)).unwrap(), SimValue::Int(1));
+        assert_eq!(
+            apply_binary("arith.addi", &SimValue::Int(2), &SimValue::Int(3)).unwrap(),
+            SimValue::Int(5)
+        );
+        assert_eq!(
+            apply_binary("arith.subi", &SimValue::Int(2), &SimValue::Int(3)).unwrap(),
+            SimValue::Int(-1)
+        );
+        assert_eq!(
+            apply_binary("arith.muli", &SimValue::Int(4), &SimValue::Int(3)).unwrap(),
+            SimValue::Int(12)
+        );
+        assert_eq!(
+            apply_binary("arith.divi", &SimValue::Int(7), &SimValue::Int(2)).unwrap(),
+            SimValue::Int(3)
+        );
+        assert_eq!(
+            apply_binary("arith.remi", &SimValue::Int(7), &SimValue::Int(2)).unwrap(),
+            SimValue::Int(1)
+        );
         assert!(apply_binary("arith.divi", &SimValue::Int(1), &SimValue::Int(0)).is_err());
         assert!(apply_binary("arith.bogus", &SimValue::Int(1), &SimValue::Int(1)).is_err());
     }
@@ -236,7 +330,10 @@ mod tests {
         let a = SimValue::Tensor(Tensor::from_int(vec![3], vec![1, 2, 3]));
         let b = SimValue::Tensor(Tensor::from_int(vec![3], vec![10, 20, 30]));
         let r = apply_binary("arith.addi", &a, &b).unwrap();
-        assert_eq!(r, SimValue::Tensor(Tensor::from_int(vec![3], vec![11, 22, 33])));
+        assert_eq!(
+            r,
+            SimValue::Tensor(Tensor::from_int(vec![3], vec![11, 22, 33]))
+        );
         let short = SimValue::Tensor(Tensor::from_int(vec![2], vec![0, 0]));
         assert!(apply_binary("arith.addi", &a, &short).is_err());
     }
@@ -247,7 +344,10 @@ mod tests {
         let r = apply_binary("arith.subi", &t, &SimValue::Int(1)).unwrap();
         assert_eq!(r, SimValue::Tensor(Tensor::from_int(vec![2], vec![9, 19])));
         let r = apply_binary("arith.subi", &SimValue::Int(1), &t).unwrap();
-        assert_eq!(r, SimValue::Tensor(Tensor::from_int(vec![2], vec![-9, -19])));
+        assert_eq!(
+            r,
+            SimValue::Tensor(Tensor::from_int(vec![2], vec![-9, -19]))
+        );
     }
 
     #[test]
@@ -269,7 +369,10 @@ mod tests {
         let weights = vec![1, 1, 1, 1];
         let mut ofmap = vec![0; 4];
         conv2d_int(&ifmap, &weights, &mut ofmap, 1, 3, 3, 1, 2, 2);
-        assert_eq!(ofmap, vec![1 + 2 + 4 + 5, 2 + 3 + 5 + 6, 4 + 5 + 7 + 8, 5 + 6 + 8 + 9]);
+        assert_eq!(
+            ofmap,
+            vec![1 + 2 + 4 + 5, 2 + 3 + 5 + 6, 4 + 5 + 7 + 8, 5 + 6 + 8 + 9]
+        );
     }
 
     #[test]

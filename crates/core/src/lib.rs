@@ -15,7 +15,41 @@
 //! * [`Machine`] — the elaborated component/buffer/connection model with
 //!   schedule queues for contention.
 //! * [`Trace`] — operation-level tracing in Chrome Trace Event Format
-//!   (§IV-B), visualisable in `chrome://tracing`.
+//!   (§IV-B), visualisable in `chrome://tracing`. With
+//!   [`SimOptions`] `trace: false`, the disabled path is zero-cost: no
+//!   event allocation and no string formatting happen on the hot loop.
+//!
+//! ## Hot-path architecture (dense frames + copy-on-write values)
+//!
+//! The engine borrows two ideas from compiled-simulation systems (CVC,
+//! GSIM): specialise the data layout before the clock starts, and keep
+//! per-event work minimal.
+//!
+//! **Layout prepass.** Before execution, a one-shot prepass numbers every
+//! SSA value into a dense *slot* within its frame scope — the innermost
+//! enclosing `equeue.launch` body (or the top region). A running frame's
+//! environment is a `Vec<Option<SimValue>>` indexed by slot, so value
+//! reads/writes are array indexing, never hashing. The same prepass
+//! pre-decodes every op into an internal opcode: operand/result slots,
+//! parsed attribute views (launch/memcpy/read/write segments, loop bounds,
+//! constants, external-op cycle counts), so the interpreter's inner loop
+//! dispatches on a plain enum and never re-parses names or attributes.
+//! Malformed ops are decoded to poison values that only raise an error if
+//! actually executed, preserving lazy interpreter semantics.
+//!
+//! **Capture maps.** Each `equeue.launch` carries a pre-computed list of
+//! exactly the values its body (transitively) references, as parent-slot →
+//! child-slot pairs; spawning an event copies just those.
+//!
+//! **Copy-on-write tensors.** [`TensorData`] stores elements behind an
+//! `Arc`, so the clones the engine performs on every read and every
+//! launch-env capture are pointer bumps; writers go through
+//! `Arc::make_mut`, which deep-copies only when a payload is shared.
+//!
+//! None of this changes simulated timing: cycle counts, event counts, and
+//! interpreted-op counts are bit-identical to the original
+//! `HashMap`-environment interpreter (enforced by the golden cycle-count
+//! tests and the `BENCH_engine.json` determinism guards).
 //!
 //! ## Example
 //!
@@ -61,9 +95,9 @@ pub use engine::{simulate, simulate_with, SimError, SimOptions};
 pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
 pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};
 pub use machine::{
-    AccessKind, Buffer, CacheBehavior, Component, ComponentKind, Connection, DramBehavior,
-    Machine, MemCounters, Memory, MemoryBehavior, ProcProfile, Processor, RegisterBehavior,
-    SramBehavior, Transfer,
+    AccessKind, Buffer, CacheBehavior, Component, ComponentKind, Connection, DramBehavior, Machine,
+    MemCounters, Memory, MemoryBehavior, ProcProfile, Processor, RegisterBehavior, SramBehavior,
+    Transfer,
 };
 pub use profile::{BandwidthStats, BufferDump, ConnReport, MemReport, SimReport};
 pub use signal::SignalTable;

@@ -77,15 +77,23 @@ impl std::fmt::Debug for SimLibrary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimLibrary")
             .field("ext_ops", &self.ext_ops.len())
-            .field("proc_profiles", &self.proc_profiles.keys().collect::<Vec<_>>())
-            .field("mem_factories", &self.mem_factories.keys().collect::<Vec<_>>())
+            .field(
+                "proc_profiles",
+                &self.proc_profiles.keys().collect::<Vec<_>>(),
+            )
+            .field(
+                "mem_factories",
+                &self.mem_factories.keys().collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
 
 fn sram_factory(spec: &MemSpec) -> Box<dyn MemoryBehavior> {
     let cpa = spec.attrs.int("cycles_per_access").unwrap_or(1).max(0) as u64;
-    Box::new(SramBehavior { cycles_per_access: cpa })
+    Box::new(SramBehavior {
+        cycles_per_access: cpa,
+    })
 }
 
 fn register_factory(_spec: &MemSpec) -> Box<dyn MemoryBehavior> {
@@ -95,7 +103,10 @@ fn register_factory(_spec: &MemSpec) -> Box<dyn MemoryBehavior> {
 fn dram_factory(spec: &MemSpec) -> Box<dyn MemoryBehavior> {
     let latency = spec.attrs.int("latency").unwrap_or(10).max(0) as u64;
     let cpa = spec.attrs.int("cycles_per_access").unwrap_or(2).max(0) as u64;
-    Box::new(DramBehavior { latency, cycles_per_access: cpa })
+    Box::new(DramBehavior {
+        latency,
+        cycles_per_access: cpa,
+    })
 }
 
 fn cache_factory(spec: &MemSpec) -> Box<dyn MemoryBehavior> {
@@ -122,9 +133,13 @@ impl SimLibrary {
         };
         // First-order per-access energy (picojoules), ordered as the paper
         // describes: registers cheapest, SRAM costlier, DRAM costliest.
-        for (kind, pj) in
-            [("Register", 0.05), ("SRAM", 1.0), ("Cache", 1.2), ("DRAM", 20.0), ("HostMem", 0.0)]
-        {
+        for (kind, pj) in [
+            ("Register", 0.05),
+            ("SRAM", 1.0),
+            ("Cache", 1.2),
+            ("DRAM", 20.0),
+            ("HostMem", 0.0),
+        ] {
             lib.energy_pj.insert(kind.to_string(), pj);
         }
         // External ops (§III-E): mul4/mac4 compute 4 lanes × 2 ops in one
@@ -138,11 +153,13 @@ impl SimLibrary {
         // per cycle; event issue and control bookkeeping are free (they are
         // queue pushes, not datapath work).
         for kind in ["ARMr5", "ARMr6", "MAC", "AIEngine", "Generic"] {
-            lib.proc_profiles.insert(kind.to_string(), Self::default_profile());
+            lib.proc_profiles
+                .insert(kind.to_string(), Self::default_profile());
         }
 
         lib.mem_factories.insert("SRAM".into(), sram_factory);
-        lib.mem_factories.insert("Register".into(), register_factory);
+        lib.mem_factories
+            .insert("Register".into(), register_factory);
         lib.mem_factories.insert("DRAM".into(), dram_factory);
         lib.mem_factories.insert("Cache".into(), cache_factory);
         lib
@@ -198,7 +215,10 @@ impl SimLibrary {
 
     /// The profile for processor `kind` (default profile when unknown).
     pub fn proc_profile(&self, kind: &str) -> ProcProfile {
-        self.proc_profiles.get(kind).cloned().unwrap_or_else(Self::default_profile)
+        self.proc_profiles
+            .get(kind)
+            .cloned()
+            .unwrap_or_else(Self::default_profile)
     }
 
     /// Registers (or overrides) a memory factory for `kind` — the §IV-D
@@ -292,7 +312,10 @@ mod tests {
     #[test]
     fn custom_factory_and_ext_op() {
         fn slow(_: &MemSpec) -> Box<dyn MemoryBehavior> {
-            Box::new(DramBehavior { latency: 99, cycles_per_access: 1 })
+            Box::new(DramBehavior {
+                latency: 99,
+                cycles_per_access: 1,
+            })
         }
         let mut lib = SimLibrary::standard();
         lib.register_mem_factory("Slow", slow);

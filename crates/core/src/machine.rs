@@ -44,7 +44,9 @@ pub struct SramBehavior {
 
 impl Default for SramBehavior {
     fn default() -> Self {
-        SramBehavior { cycles_per_access: 1 }
+        SramBehavior {
+            cycles_per_access: 1,
+        }
     }
 }
 
@@ -64,7 +66,13 @@ impl MemoryBehavior for SramBehavior {
 pub struct RegisterBehavior;
 
 impl MemoryBehavior for RegisterBehavior {
-    fn access_cycles(&mut self, _kind: AccessKind, _addr: usize, _elems: usize, _banks: u32) -> u64 {
+    fn access_cycles(
+        &mut self,
+        _kind: AccessKind,
+        _addr: usize,
+        _elems: usize,
+        _banks: u32,
+    ) -> u64 {
         0
     }
 
@@ -84,7 +92,10 @@ pub struct DramBehavior {
 
 impl Default for DramBehavior {
     fn default() -> Self {
-        DramBehavior { latency: 10, cycles_per_access: 2 }
+        DramBehavior {
+            latency: 10,
+            cycles_per_access: 2,
+        }
     }
 }
 
@@ -128,8 +139,17 @@ impl CacheBehavior {
     /// # Panics
     ///
     /// Panics if any parameter is zero.
-    pub fn new(sets: usize, ways: usize, line_elems: usize, hit_cycles: u64, miss_cycles: u64) -> Self {
-        assert!(sets > 0 && ways > 0 && line_elems > 0, "cache geometry must be non-zero");
+    pub fn new(
+        sets: usize,
+        ways: usize,
+        line_elems: usize,
+        hit_cycles: u64,
+        miss_cycles: u64,
+    ) -> Self {
+        assert!(
+            sets > 0 && ways > 0 && line_elems > 0,
+            "cache geometry must be non-zero"
+        );
         CacheBehavior {
             sets,
             ways,
@@ -281,19 +301,28 @@ pub struct ProcProfile {
 
 impl Default for ProcProfile {
     fn default() -> Self {
-        ProcProfile { default_cycles: 1, per_op: HashMap::new() }
+        ProcProfile {
+            default_cycles: 1,
+            per_op: HashMap::new(),
+        }
     }
 }
 
 impl ProcProfile {
     /// A profile where every op costs `default_cycles`.
     pub fn uniform(default_cycles: u64) -> Self {
-        ProcProfile { default_cycles, per_op: HashMap::new() }
+        ProcProfile {
+            default_cycles,
+            per_op: HashMap::new(),
+        }
     }
 
     /// Cycle count for `op_name`.
     pub fn cycles(&self, op_name: &str) -> u64 {
-        self.per_op.get(op_name).copied().unwrap_or(self.default_cycles)
+        self.per_op
+            .get(op_name)
+            .copied()
+            .unwrap_or(self.default_cycles)
     }
 }
 
@@ -409,7 +438,14 @@ pub struct Connection {
 impl Connection {
     /// Creates a connection.
     pub fn new(name: String, kind: ConnKind, bytes_per_cycle: u64) -> Self {
-        Connection { name, kind, bytes_per_cycle, read_free: 0, write_free: 0, transfers: vec![] }
+        Connection {
+            name,
+            kind,
+            bytes_per_cycle,
+            read_free: 0,
+            write_free: 0,
+            transfers: vec![],
+        }
     }
 
     /// Cycles needed to move `bytes` (0 when unlimited).
@@ -436,7 +472,12 @@ impl Connection {
     ) -> (u64, u64) {
         if self.bytes_per_cycle == 0 {
             let end = start + min_duration;
-            self.transfers.push(Transfer { start, end, bytes, kind });
+            self.transfers.push(Transfer {
+                start,
+                end,
+                bytes,
+                kind,
+            });
             return (start, end);
         }
         let dur = self.transfer_cycles(bytes).max(min_duration);
@@ -471,7 +512,12 @@ impl Connection {
             self.read_free = self.read_free.max(finish);
             self.write_free = self.write_free.max(finish);
         }
-        self.transfers.push(Transfer { start: actual, end: finish, bytes, kind });
+        self.transfers.push(Transfer {
+            start: actual,
+            end: finish,
+            bytes,
+            kind,
+        });
         (actual, finish)
     }
 }
@@ -498,7 +544,10 @@ impl Machine {
         let id = CompId(self.components.len() as u32);
         self.components.push(Component {
             name: format!("{kind}#{}", id.0),
-            kind: ComponentKind::Processor(Processor { kind: kind.to_string(), profile }),
+            kind: ComponentKind::Processor(Processor {
+                kind: kind.to_string(),
+                profile,
+            }),
         });
         id
     }
@@ -549,7 +598,10 @@ impl Machine {
     /// Adds a DMA engine; returns its id.
     pub fn add_dma(&mut self) -> CompId {
         let id = CompId(self.components.len() as u32);
-        self.components.push(Component { name: format!("DMA#{}", id.0), kind: ComponentKind::Dma });
+        self.components.push(Component {
+            name: format!("DMA#{}", id.0),
+            kind: ComponentKind::Dma,
+        });
         id
     }
 
@@ -564,7 +616,11 @@ impl Machine {
         self.components.push(Component {
             name: format!("Comp#{}", id.0),
             kind: ComponentKind::Composite(Composite {
-                children: names.iter().cloned().zip(children.iter().copied()).collect(),
+                children: names
+                    .iter()
+                    .cloned()
+                    .zip(children.iter().copied())
+                    .collect(),
             }),
         });
         id
@@ -582,7 +638,8 @@ impl Machine {
         }
         match &mut self.components[comp.0 as usize].kind {
             ComponentKind::Composite(c) => {
-                c.children.extend(names.iter().cloned().zip(children.iter().copied()));
+                c.children
+                    .extend(names.iter().cloned().zip(children.iter().copied()));
             }
             _ => panic!("extend_composite target is not a composite"),
         }
@@ -591,9 +648,11 @@ impl Machine {
     /// Looks up a direct child of a composite by name.
     pub fn child(&self, comp: CompId, name: &str) -> Option<CompId> {
         match &self.components[comp.0 as usize].kind {
-            ComponentKind::Composite(c) => {
-                c.children.iter().find(|(n, _)| n == name).map(|&(_, id)| id)
-            }
+            ComponentKind::Composite(c) => c
+                .children
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, id)| id),
             _ => None,
         }
     }
@@ -685,7 +744,14 @@ impl Machine {
         } else {
             Tensor::zeros_float(shape.clone())
         };
-        self.buffers.push(Buffer { mem, shape, elem_bytes, base_addr, live: true, data });
+        self.buffers.push(Buffer {
+            mem,
+            shape,
+            elem_bytes,
+            base_addr,
+            live: true,
+            data,
+        });
         Ok(id)
     }
 
@@ -697,8 +763,7 @@ impl Machine {
         };
         if live {
             self.buffers[buf.0 as usize].live = false;
-            self.memory_mut(mem).used_elems =
-                self.memory(mem).used_elems.saturating_sub(elems);
+            self.memory_mut(mem).used_elems = self.memory(mem).used_elems.saturating_sub(elems);
         }
     }
 
@@ -715,7 +780,11 @@ impl Machine {
     /// Adds a connection; returns its id.
     pub fn add_connection(&mut self, kind: ConnKind, bytes_per_cycle: u64) -> ConnId {
         let id = ConnId(self.connections.len() as u32);
-        self.connections.push(Connection::new(format!("conn#{}", id.0), kind, bytes_per_cycle));
+        self.connections.push(Connection::new(
+            format!("conn#{}", id.0),
+            kind,
+            bytes_per_cycle,
+        ));
         id
     }
 
@@ -775,8 +844,7 @@ mod tests {
     #[test]
     fn memory_port_contention() {
         let mut m = Machine::new();
-        let mem =
-            m.add_memory("SRAM", 4096, 32, 4, 1, Box::new(SramBehavior::default()));
+        let mem = m.add_memory("SRAM", 4096, 32, 4, 1, Box::new(SramBehavior::default()));
         // Two 4-cycle accesses on 1 port: the second waits.
         let (s1, f1) = m.memory_mut(mem).reserve(0, 4);
         let (s2, f2) = m.memory_mut(mem).reserve(0, 4);
@@ -790,8 +858,7 @@ mod tests {
     #[test]
     fn memory_two_ports_parallel() {
         let mut m = Machine::new();
-        let mem =
-            m.add_memory("SRAM", 4096, 32, 4, 2, Box::new(SramBehavior::default()));
+        let mem = m.add_memory("SRAM", 4096, 32, 4, 2, Box::new(SramBehavior::default()));
         let (s1, _) = m.memory_mut(mem).reserve(0, 4);
         let (s2, _) = m.memory_mut(mem).reserve(0, 4);
         let (s3, _) = m.memory_mut(mem).reserve(0, 4);

@@ -95,7 +95,10 @@ impl SimReport {
     pub(crate) fn collect(&mut self, machine: &Machine) {
         let cycles = self.cycles.max(1);
         for conn in &machine.connections {
-            let mut report = ConnReport { name: conn.name.clone(), ..Default::default() };
+            let mut report = ConnReport {
+                name: conn.name.clone(),
+                ..Default::default()
+            };
             for dir in [AccessKind::Read, AccessKind::Write] {
                 let mut bytes = 0u64;
                 let mut max_bw = 0f64;
@@ -118,7 +121,11 @@ impl SimReport {
                 let mut at_max = 0u64;
                 for t in conn.transfers.iter().filter(|t| t.kind == dir) {
                     let dur = t.end.saturating_sub(t.start);
-                    let bw = if dur == 0 { t.bytes as f64 } else { t.bytes as f64 / dur as f64 };
+                    let bw = if dur == 0 {
+                        t.bytes as f64
+                    } else {
+                        t.bytes as f64 / dur as f64
+                    };
                     if (bw - max_bw).abs() < eps {
                         at_max += dur.max(1);
                     }
@@ -171,12 +178,22 @@ impl SimReport {
     /// Sum of average read bandwidth across memories of `kind`.
     pub fn read_bw_of_kind(&self, kind: &str) -> f64 {
         // `+ 0.0` normalises an IEEE negative zero out of the sum.
-        self.memories.iter().filter(|m| m.kind == kind).map(|m| m.avg_read_bw).sum::<f64>() + 0.0
+        self.memories
+            .iter()
+            .filter(|m| m.kind == kind)
+            .map(|m| m.avg_read_bw)
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Sum of average write bandwidth across memories of `kind`.
     pub fn write_bw_of_kind(&self, kind: &str) -> f64 {
-        self.memories.iter().filter(|m| m.kind == kind).map(|m| m.avg_write_bw).sum::<f64>() + 0.0
+        self.memories
+            .iter()
+            .filter(|m| m.kind == kind)
+            .map(|m| m.avg_write_bw)
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Total memory access energy across the machine, picojoules.
@@ -215,7 +232,11 @@ impl SimReport {
                 m.name, m.kind, m.bytes_read, m.reads, m.avg_read_bw, m.bytes_written, m.writes, m.avg_write_bw, m.energy_pj
             );
         }
-        let _ = writeln!(s, "total memory energy: {:.1} pJ", self.total_memory_energy_pj());
+        let _ = writeln!(
+            s,
+            "total memory energy: {:.1} pJ",
+            self.total_memory_energy_pj()
+        );
         s
     }
 }
@@ -234,7 +255,10 @@ mod tests {
         machine.connection_mut(c).reserve(AccessKind::Read, 10, 8); // 2 cycles @ 4 B/c
         machine.connection_mut(c).reserve(AccessKind::Write, 0, 4); // 1 cycle
 
-        let mut r = SimReport { cycles: 20, ..Default::default() };
+        let mut r = SimReport {
+            cycles: 20,
+            ..Default::default()
+        };
         r.collect(&machine);
         let conn = &r.connections[0];
         assert_eq!(conn.read.bytes, 24);
@@ -258,7 +282,10 @@ mod tests {
         );
         machine.memory_mut(mem).count(AccessKind::Read, 100);
         machine.memory_mut(mem).count(AccessKind::Write, 60);
-        let mut r = SimReport { cycles: 10, ..Default::default() };
+        let mut r = SimReport {
+            cycles: 10,
+            ..Default::default()
+        };
         r.collect(&machine);
         let m = &r.memories[0];
         assert_eq!(m.bytes_read, 100);

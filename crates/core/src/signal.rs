@@ -24,10 +24,7 @@ enum SignalState {
         dependents: Vec<SignalId>,
     },
     /// Fired at `time` with `payload`.
-    Resolved {
-        time: u64,
-        payload: Vec<SimValue>,
-    },
+    Resolved { time: u64, payload: Vec<SimValue> },
 }
 
 /// The signal table: allocation, combinators, and resolution.
@@ -73,7 +70,10 @@ impl SignalTable {
     /// Allocates a signal already resolved at `time` (for `control_start`).
     pub fn resolved_at(&mut self, time: u64) -> SignalId {
         let id = SignalId(self.signals.len() as u32);
-        self.signals.push(SignalState::Resolved { time, payload: vec![] });
+        self.signals.push(SignalState::Resolved {
+            time,
+            payload: vec![],
+        });
         id
     }
 
@@ -107,17 +107,36 @@ impl SignalTable {
         }
         let state = if any_mode {
             if let Some(t) = fired_any {
-                SignalState::Resolved { time: t, payload: vec![] }
+                SignalState::Resolved {
+                    time: t,
+                    payload: vec![],
+                }
             } else if remaining == 0 {
                 // No deps at all: fire immediately at 0.
-                SignalState::Resolved { time: 0, payload: vec![] }
+                SignalState::Resolved {
+                    time: 0,
+                    payload: vec![],
+                }
             } else {
-                SignalState::Pending { remaining: 1, time_acc: u64::MAX, any_mode: true, dependents: vec![] }
+                SignalState::Pending {
+                    remaining: 1,
+                    time_acc: u64::MAX,
+                    any_mode: true,
+                    dependents: vec![],
+                }
             }
         } else if remaining == 0 {
-            SignalState::Resolved { time: time_acc, payload: vec![] }
+            SignalState::Resolved {
+                time: time_acc,
+                payload: vec![],
+            }
         } else {
-            SignalState::Pending { remaining, time_acc, any_mode: false, dependents: vec![] }
+            SignalState::Pending {
+                remaining,
+                time_acc,
+                any_mode: false,
+                dependents: vec![],
+            }
         };
         let resolved = matches!(state, SignalState::Resolved { .. });
         self.signals.push(state);
@@ -174,7 +193,12 @@ impl SignalTable {
         self.just_resolved.push(sig);
         for dep in dependents {
             let fire = match &mut self.signals[dep.0 as usize] {
-                SignalState::Pending { remaining, time_acc, any_mode, .. } => {
+                SignalState::Pending {
+                    remaining,
+                    time_acc,
+                    any_mode,
+                    ..
+                } => {
                     if *any_mode {
                         Some(time)
                     } else {

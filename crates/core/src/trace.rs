@@ -73,12 +73,18 @@ pub struct Trace {
 impl Trace {
     /// Creates an enabled, empty trace.
     pub fn new() -> Self {
-        Trace { events: vec![], enabled: true }
+        Trace {
+            events: vec![],
+            enabled: true,
+        }
     }
 
     /// Creates a disabled trace that drops all records (for large sweeps).
     pub fn disabled() -> Self {
-        Trace { events: vec![], enabled: false }
+        Trace {
+            events: vec![],
+            enabled: false,
+        }
     }
 
     /// Whether recording is active.
@@ -88,15 +94,7 @@ impl Trace {
 
     /// Records one complete event (no-op when disabled or `dur == 0`
     /// in the stall category).
-    pub fn record(
-        &mut self,
-        name: &str,
-        cat: TraceCat,
-        ts: u64,
-        dur: u64,
-        pid: &str,
-        tid: &str,
-    ) {
+    pub fn record(&mut self, name: &str, cat: TraceCat, ts: u64, dur: u64, pid: &str, tid: &str) {
         if !self.enabled {
             return;
         }

@@ -4,8 +4,18 @@
 //! data through buffers so that tests can check computation results (e.g. a
 //! convolution's output feature map) against references, in addition to
 //! timing.
+//!
+//! Tensor payloads are **copy-on-write**: [`TensorData`] holds its elements
+//! behind an [`Arc`], so cloning a [`Tensor`] (or a [`SimValue::Tensor`]) is
+//! a reference-count bump, not a data copy. The engine clones values on
+//! every read and every launch-env capture, which made deep tensor copies
+//! the dominant cost of tensor-heavy simulations. Writers call
+//! [`TensorData::make_ints_mut`] / [`TensorData::make_floats_mut`] (thin
+//! wrappers over [`Arc::make_mut`]), which copy only when the payload is
+//! actually shared.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a hardware component instance in the elaborated machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,16 +33,30 @@ pub struct ConnId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SignalId(pub u32);
 
-/// Tensor payload: a shaped block of integers or floats.
+/// Tensor payload: a shaped block of integers or floats, copy-on-write.
+///
+/// Cloning is an `Arc` bump; mutation goes through
+/// [`TensorData::make_ints_mut`] / [`TensorData::make_floats_mut`], which
+/// deep-copy only when the payload is shared.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TensorData {
     /// Integer elements.
-    Int(Vec<i64>),
+    Int(Arc<Vec<i64>>),
     /// Float elements.
-    Float(Vec<f64>),
+    Float(Arc<Vec<f64>>),
 }
 
 impl TensorData {
+    /// An integer payload from explicit data.
+    pub fn from_ints(v: Vec<i64>) -> Self {
+        TensorData::Int(Arc::new(v))
+    }
+
+    /// A float payload from explicit data.
+    pub fn from_floats(v: Vec<f64>) -> Self {
+        TensorData::Float(Arc::new(v))
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         match self {
@@ -44,6 +68,52 @@ impl TensorData {
     /// Whether the payload is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The integer elements, if this is an [`TensorData::Int`].
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match self {
+            TensorData::Int(v) => Some(v),
+            TensorData::Float(_) => None,
+        }
+    }
+
+    /// The float elements, if this is a [`TensorData::Float`].
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match self {
+            TensorData::Float(v) => Some(v),
+            TensorData::Int(_) => None,
+        }
+    }
+
+    /// Mutable integer elements (copy-on-write: clones the backing vector
+    /// only when shared), if this is an [`TensorData::Int`].
+    pub fn make_ints_mut(&mut self) -> Option<&mut Vec<i64>> {
+        match self {
+            TensorData::Int(v) => Some(Arc::make_mut(v)),
+            TensorData::Float(_) => None,
+        }
+    }
+
+    /// Mutable float elements (copy-on-write), if this is a
+    /// [`TensorData::Float`].
+    pub fn make_floats_mut(&mut self) -> Option<&mut Vec<f64>> {
+        match self {
+            TensorData::Float(v) => Some(Arc::make_mut(v)),
+            TensorData::Int(_) => None,
+        }
+    }
+}
+
+impl From<Vec<i64>> for TensorData {
+    fn from(v: Vec<i64>) -> Self {
+        TensorData::from_ints(v)
+    }
+}
+
+impl From<Vec<f64>> for TensorData {
+    fn from(v: Vec<f64>) -> Self {
+        TensorData::from_floats(v)
     }
 }
 
@@ -60,13 +130,19 @@ impl Tensor {
     /// An all-zero integer tensor of the given shape.
     pub fn zeros_int(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: TensorData::Int(vec![0; n]) }
+        Tensor {
+            shape,
+            data: TensorData::from_ints(vec![0; n]),
+        }
     }
 
     /// An all-zero float tensor of the given shape.
     pub fn zeros_float(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: TensorData::Float(vec![0.0; n]) }
+        Tensor {
+            shape,
+            data: TensorData::from_floats(vec![0.0; n]),
+        }
     }
 
     /// An integer tensor from explicit data.
@@ -75,8 +151,15 @@ impl Tensor {
     ///
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_int(shape: Vec<usize>, data: Vec<i64>) -> Self {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Tensor { shape, data: TensorData::Int(data) }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor {
+            shape,
+            data: TensorData::from_ints(data),
+        }
     }
 
     /// Number of elements.
@@ -99,7 +182,10 @@ impl Tensor {
         assert_eq!(indices.len(), self.shape.len(), "rank mismatch");
         let mut flat = 0;
         for (i, (&idx, &dim)) in indices.iter().zip(&self.shape).enumerate() {
-            assert!(idx < dim, "index {idx} out of range for dim {i} (size {dim})");
+            assert!(
+                idx < dim,
+                "index {idx} out of range for dim {i} (size {dim})"
+            );
             flat = flat * dim + idx;
         }
         flat
@@ -234,12 +320,26 @@ mod tests {
     fn tensor_constructors() {
         let t = Tensor::zeros_int(vec![2, 3]);
         assert_eq!(t.len(), 6);
-        assert_eq!(t.data, TensorData::Int(vec![0; 6]));
+        assert_eq!(t.data, TensorData::from_ints(vec![0; 6]));
         let t = Tensor::zeros_float(vec![4]);
         assert_eq!(t.len(), 4);
         let t = Tensor::from_int(vec![2, 2], vec![1, 2, 3, 4]);
         assert_eq!(t.flatten_index(&[1, 0]), 2);
         assert_eq!(t.flatten_index(&[0, 1]), 1);
+    }
+
+    #[test]
+    fn tensor_clone_is_copy_on_write() {
+        let a = Tensor::from_int(vec![4], vec![1, 2, 3, 4]);
+        let mut b = a.clone();
+        // The clone shares storage until written.
+        match (&a.data, &b.data) {
+            (TensorData::Int(x), TensorData::Int(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+        b.data.make_ints_mut().unwrap()[0] = 99;
+        assert_eq!(a.data.as_ints().unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(b.data.as_ints().unwrap(), &[99, 2, 3, 4]);
     }
 
     #[test]
@@ -262,7 +362,10 @@ mod tests {
         assert_eq!(SimValue::Float(2.5).as_float(), Some(2.5));
         assert_eq!(SimValue::Buffer(BufId(1)).as_buffer(), Some(BufId(1)));
         assert_eq!(SimValue::Signal(SignalId(2)).as_signal(), Some(SignalId(2)));
-        assert_eq!(SimValue::Component(CompId(4)).as_component(), Some(CompId(4)));
+        assert_eq!(
+            SimValue::Component(CompId(4)).as_component(),
+            Some(CompId(4))
+        );
         assert_eq!(SimValue::Int(3).as_buffer(), None);
     }
 

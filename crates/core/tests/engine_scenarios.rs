@@ -51,7 +51,13 @@ fn dram_latency_dominates_small_reads() {
 
 #[test]
 fn dram_latency_configurable_via_attrs() {
-    let m = one_pe_reading(kinds::DRAM, &[("latency", 50), ("cycles_per_access", 1)], 4, 4, None);
+    let m = one_pe_reading(
+        kinds::DRAM,
+        &[("latency", 50), ("cycles_per_access", 1)],
+        4,
+        4,
+        None,
+    );
     let report = simulate(&m).unwrap();
     assert_eq!(report.cycles, 50 + 1);
 }
@@ -250,7 +256,10 @@ fn await_can_wait_on_multiple_unordered_signals() {
         let l = b.launch(start, pe, &[], vec![]);
         {
             let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
-            ib.op("equeue.op").attr("signature", "w").attr("cycles", len).finish();
+            ib.op("equeue.op")
+                .attr("signature", "w")
+                .attr("cycles", len)
+                .finish();
             ib.ret(vec![]);
         }
         dones.push(l.done);
@@ -294,7 +303,15 @@ fn wake_limit_guards_runaway_programs() {
     }
     b.await_all(vec![dep]);
     let lib = SimLibrary::standard();
-    let err = simulate_with(&m, &lib, &SimOptions { trace: false, max_wakes: 10 }).unwrap_err();
+    let err = simulate_with(
+        &m,
+        &lib,
+        &SimOptions {
+            trace: false,
+            max_wakes: 10,
+        },
+    )
+    .unwrap_err();
     assert!(matches!(err, SimError::Limit(_)), "{err}");
 }
 

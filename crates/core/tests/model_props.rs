@@ -1,29 +1,68 @@
 //! Property tests on the device models: schedule queues never double-book,
 //! connection statistics conserve bytes, and signal combinators match a
 //! reference evaluation over random dependency DAGs.
+//!
+//! Uses a deterministic xorshift generator instead of `proptest` — the
+//! workspace carries no external dependencies. Each property is checked
+//! over many seeded random cases; assertion messages include the inputs.
 
 use equeue_core::{AccessKind, Connection, Machine, SignalTable, SramBehavior};
 use equeue_dialect::ConnKind;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
 
-    /// Ports never serve two reservations at once: for any sequence of
-    /// requests, per-port intervals are disjoint and starts never precede
-    /// the request.
-    #[test]
-    fn memory_ports_never_double_book(
-        requests in proptest::collection::vec((0u64..50, 1u64..10), 1..40),
-        ports in 1usize..4,
-    ) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+const CASES: usize = 64;
+
+/// Ports never serve two reservations at once: for any sequence of
+/// requests, per-port intervals are disjoint and starts never precede
+/// the request.
+#[test]
+fn memory_ports_never_double_book() {
+    let mut rng = Rng::new(0x9011A);
+    for _ in 0..CASES {
+        let ports = rng.range(1, 4) as usize;
+        let n = rng.range(1, 40) as usize;
+        let requests: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.range(0, 50), rng.range(1, 10)))
+            .collect();
         let mut machine = Machine::new();
-        let mem = machine.add_memory("SRAM", 1024, 32, 1, ports, Box::new(SramBehavior::default()));
+        let mem = machine.add_memory(
+            "SRAM",
+            1024,
+            32,
+            1,
+            ports,
+            Box::new(SramBehavior::default()),
+        );
         let mut granted: Vec<(u64, u64)> = vec![];
-        for (start, dur) in requests {
+        for &(start, dur) in &requests {
             let (actual, finish) = machine.memory_mut(mem).reserve(start, dur);
-            prop_assert!(actual >= start);
-            prop_assert_eq!(finish, actual + dur);
+            assert!(actual >= start, "requests = {requests:?}");
+            assert_eq!(finish, actual + dur, "requests = {requests:?}");
             granted.push((actual, finish));
         }
         // Overlap count at any instant must not exceed the port count.
@@ -32,41 +71,69 @@ proptest! {
         points.dedup();
         for &t in &points {
             let live = granted.iter().filter(|&&(s, f)| s <= t && t < f).count();
-            prop_assert!(live <= ports, "{live} live reservations on {ports} ports at t={t}");
+            assert!(
+                live <= ports,
+                "{live} live reservations on {ports} ports at t={t}"
+            );
         }
     }
+}
 
-    /// Connections conserve bytes in their statistics and never overlap
-    /// transfers on one channel.
-    #[test]
-    fn connection_stats_conserve_bytes(
-        requests in proptest::collection::vec((0u64..40, 1u64..64, any::<bool>()), 1..30),
-        bw in 1u64..16,
-        window in any::<bool>(),
-    ) {
-        let kind = if window { ConnKind::Window } else { ConnKind::Streaming };
+/// Connections conserve bytes in their statistics and never overlap
+/// transfers on one channel.
+#[test]
+fn connection_stats_conserve_bytes() {
+    let mut rng = Rng::new(0xC023);
+    for _ in 0..CASES {
+        let bw = rng.range(1, 16);
+        let window = rng.bool();
+        let n = rng.range(1, 30) as usize;
+        let requests: Vec<(u64, u64, bool)> = (0..n)
+            .map(|_| (rng.range(0, 40), rng.range(1, 64), rng.bool()))
+            .collect();
+        let kind = if window {
+            ConnKind::Window
+        } else {
+            ConnKind::Streaming
+        };
         let mut conn = Connection::new("c".into(), kind, bw);
         let mut expect_read = 0u64;
         let mut expect_write = 0u64;
-        for (start, bytes, is_read) in requests {
-            let dir = if is_read { AccessKind::Read } else { AccessKind::Write };
+        for &(start, bytes, is_read) in &requests {
+            let dir = if is_read {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             let (actual, finish) = conn.reserve(dir, start, bytes);
-            prop_assert!(actual >= start);
-            prop_assert_eq!(finish - actual, bytes.div_ceil(bw));
+            assert!(actual >= start, "requests = {requests:?}");
+            assert_eq!(
+                finish - actual,
+                bytes.div_ceil(bw),
+                "requests = {requests:?}"
+            );
             if is_read {
                 expect_read += bytes;
             } else {
                 expect_write += bytes;
             }
         }
-        let read: u64 =
-            conn.transfers.iter().filter(|t| t.kind == AccessKind::Read).map(|t| t.bytes).sum();
-        let write: u64 =
-            conn.transfers.iter().filter(|t| t.kind == AccessKind::Write).map(|t| t.bytes).sum();
-        prop_assert_eq!(read, expect_read);
-        prop_assert_eq!(write, expect_write);
+        let read: u64 = conn
+            .transfers
+            .iter()
+            .filter(|t| t.kind == AccessKind::Read)
+            .map(|t| t.bytes)
+            .sum();
+        let write: u64 = conn
+            .transfers
+            .iter()
+            .filter(|t| t.kind == AccessKind::Write)
+            .map(|t| t.bytes)
+            .sum();
+        assert_eq!(read, expect_read);
+        assert_eq!(write, expect_write);
         // Per direction (or globally for Window), transfers are disjoint.
-        let mut check = |dir: AccessKind| {
+        let check = |dir: AccessKind| {
             let mut spans: Vec<(u64, u64)> = conn
                 .transfers
                 .iter()
@@ -81,21 +148,31 @@ proptest! {
             }
             Ok(())
         };
-        prop_assert!(check(AccessKind::Read).is_ok());
-        prop_assert!(check(AccessKind::Write).is_ok());
+        assert!(check(AccessKind::Read).is_ok());
+        assert!(check(AccessKind::Write).is_ok());
     }
+}
 
-    /// Random and/or combinator trees over leaf signals resolve exactly
-    /// like a reference max/min evaluation — when resolutions arrive in
-    /// time order, which is what the engine's scheduler guarantees (`or`
-    /// fires at its first-*resolved* dependency; in time order that is the
-    /// min-time one).
-    #[test]
-    fn signal_dags_match_reference(
-        leaf_times in proptest::collection::vec(0u64..100, 2..8),
-        // Each node: (is_and, dep_a, dep_b) indices into everything before.
-        nodes in proptest::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 1..8),
-    ) {
+/// Random and/or combinator trees over leaf signals resolve exactly
+/// like a reference max/min evaluation — when resolutions arrive in
+/// time order, which is what the engine's scheduler guarantees (`or`
+/// fires at its first-*resolved* dependency; in time order that is the
+/// min-time one).
+#[test]
+fn signal_dags_match_reference() {
+    let mut rng = Rng::new(0xDA6);
+    for _ in 0..CASES {
+        let leaf_times: Vec<u64> = (0..rng.range(2, 8)).map(|_| rng.range(0, 100)).collect();
+        let nodes: Vec<(bool, usize, usize)> = (0..rng.range(1, 8))
+            .map(|_| {
+                (
+                    rng.bool(),
+                    rng.range(0, 6) as usize,
+                    rng.range(0, 6) as usize,
+                )
+            })
+            .collect();
+
         let mut table = SignalTable::new();
         let leaves: Vec<_> = leaf_times.iter().map(|_| table.fresh()).collect();
 
@@ -127,24 +204,38 @@ proptest! {
         // Reference evaluation.
         for (i, &(is_and, a, b)) in spec.iter().enumerate() {
             let (ta, tb) = (reference[a].unwrap(), reference[b].unwrap());
-            reference[leaves.len() + i] =
-                Some(if is_and { ta.max(tb) } else { ta.min(tb) });
+            reference[leaves.len() + i] = Some(if is_and { ta.max(tb) } else { ta.min(tb) });
         }
 
         for (i, &sig) in all.iter().enumerate() {
-            prop_assert!(table.is_resolved(sig), "signal {i} unresolved");
-            prop_assert_eq!(table.resolve_time(sig).unwrap(), reference[i].unwrap(), "node {}", i);
+            assert!(table.is_resolved(sig), "signal {i} unresolved");
+            assert_eq!(
+                table.resolve_time(sig).unwrap(),
+                reference[i].unwrap(),
+                "node {i}: leaf_times = {leaf_times:?}, nodes = {nodes:?}"
+            );
         }
     }
+}
 
-    /// Even under adversarial (non-time-ordered) resolution, every
-    /// combinator eventually resolves — no lost wakeups in the cascade.
-    #[test]
-    fn signal_dags_always_resolve(
-        leaf_count in 2usize..8,
-        nodes in proptest::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 1..8),
-        resolve_order in proptest::collection::vec(0usize..8, 8),
-    ) {
+/// Even under adversarial (non-time-ordered) resolution, every
+/// combinator eventually resolves — no lost wakeups in the cascade.
+#[test]
+fn signal_dags_always_resolve() {
+    let mut rng = Rng::new(0xA1507);
+    for _ in 0..CASES {
+        let leaf_count = rng.range(2, 8) as usize;
+        let nodes: Vec<(bool, usize, usize)> = (0..rng.range(1, 8))
+            .map(|_| {
+                (
+                    rng.bool(),
+                    rng.range(0, 6) as usize,
+                    rng.range(0, 6) as usize,
+                )
+            })
+            .collect();
+        let resolve_order: Vec<usize> = (0..8).map(|_| rng.range(0, 8) as usize).collect();
+
         let mut table = SignalTable::new();
         let leaves: Vec<_> = (0..leaf_count).map(|_| table.fresh()).collect();
         let mut all = leaves.clone();
@@ -164,29 +255,46 @@ proptest! {
             table.resolve(leaves[i], i as u64, vec![]);
         }
         for (i, &sig) in all.iter().enumerate() {
-            prop_assert!(table.is_resolved(sig), "signal {i} unresolved");
+            assert!(table.is_resolved(sig), "signal {i} unresolved");
         }
     }
+}
 
-    /// Buffer allocation never exceeds capacity and dealloc restores it.
-    #[test]
-    fn allocator_respects_capacity(
-        sizes in proptest::collection::vec(1usize..32, 1..20),
-        capacity in 32usize..128,
-    ) {
+/// Buffer allocation never exceeds capacity and dealloc restores it.
+#[test]
+fn allocator_respects_capacity() {
+    let mut rng = Rng::new(0xA110C);
+    for _ in 0..CASES {
+        let capacity = rng.range(32, 128) as usize;
+        let sizes: Vec<usize> = (0..rng.range(1, 20))
+            .map(|_| rng.range(1, 32) as usize)
+            .collect();
         let mut machine = Machine::new();
-        let mem = machine.add_memory("SRAM", capacity, 32, 1, 1, Box::new(SramBehavior::default()));
+        let mem = machine.add_memory(
+            "SRAM",
+            capacity,
+            32,
+            1,
+            1,
+            Box::new(SramBehavior::default()),
+        );
         let mut live: Vec<(equeue_core::BufId, usize)> = vec![];
         let mut used = 0usize;
         for (i, &sz) in sizes.iter().enumerate() {
             match machine.alloc_buffer(mem, vec![sz], 4, true) {
                 Ok(id) => {
                     used += sz;
-                    prop_assert!(used <= capacity, "allocator over-committed");
+                    assert!(
+                        used <= capacity,
+                        "allocator over-committed: sizes = {sizes:?}"
+                    );
                     live.push((id, sz));
                 }
                 Err(_) => {
-                    prop_assert!(used + sz > capacity, "spurious allocation failure");
+                    assert!(
+                        used + sz > capacity,
+                        "spurious allocation failure: sizes = {sizes:?}"
+                    );
                 }
             }
             // Free the oldest buffer every third step.

@@ -62,7 +62,10 @@ pub trait AffineBuilder {
 
 impl AffineBuilder for OpBuilder<'_> {
     fn memref_alloc(&mut self, ty: Type) -> ValueId {
-        assert!(matches!(ty, Type::MemRef { .. }), "memref.alloc needs a memref type");
+        assert!(
+            matches!(ty, Type::MemRef { .. }),
+            "memref.alloc needs a memref type"
+        );
         self.op("memref.alloc").result(ty).finish_value()
     }
 
@@ -110,11 +113,19 @@ impl AffineBuilder for OpBuilder<'_> {
             .elem()
             .expect("affine.load needs a shaped operand")
             .clone();
-        self.op("affine.load").operand(memref).operands(indices).result(elem).finish_value()
+        self.op("affine.load")
+            .operand(memref)
+            .operands(indices)
+            .result(elem)
+            .finish_value()
     }
 
     fn affine_store(&mut self, value: ValueId, memref: ValueId, indices: Vec<ValueId>) {
-        self.op("affine.store").operand(value).operand(memref).operands(indices).finish();
+        self.op("affine.store")
+            .operand(value)
+            .operand(memref)
+            .operands(indices)
+            .finish();
     }
 
     fn affine_yield(&mut self) {
@@ -151,9 +162,18 @@ pub fn verify_for(m: &Module, op: OpId) -> Result<(), String> {
 /// index block arguments.
 pub fn verify_parallel(m: &Module, op: OpId) -> Result<(), String> {
     let data = m.op(op);
-    let lowers = data.attrs.int_array("lowers").ok_or("affine.parallel needs 'lowers'")?;
-    let uppers = data.attrs.int_array("uppers").ok_or("affine.parallel needs 'uppers'")?;
-    let steps = data.attrs.int_array("steps").ok_or("affine.parallel needs 'steps'")?;
+    let lowers = data
+        .attrs
+        .int_array("lowers")
+        .ok_or("affine.parallel needs 'lowers'")?;
+    let uppers = data
+        .attrs
+        .int_array("uppers")
+        .ok_or("affine.parallel needs 'uppers'")?;
+    let steps = data
+        .attrs
+        .int_array("steps")
+        .ok_or("affine.parallel needs 'steps'")?;
     if lowers.len() != uppers.len() || lowers.len() != steps.len() {
         return Err("affine.parallel bound arrays must have equal length".into());
     }
@@ -180,7 +200,9 @@ pub fn verify_load(m: &Module, op: OpId) -> Result<(), String> {
         return Err("affine.load needs a memref operand".into());
     }
     let mt = m.value_type(data.operands[0]);
-    let shape = mt.shape().ok_or_else(|| format!("affine.load operand is not shaped: {mt}"))?;
+    let shape = mt
+        .shape()
+        .ok_or_else(|| format!("affine.load operand is not shaped: {mt}"))?;
     let n_idx = data.operands.len() - 1;
     if n_idx != shape.len() {
         return Err(format!(
@@ -207,7 +229,9 @@ pub fn verify_store(m: &Module, op: OpId) -> Result<(), String> {
         return Err("affine.store needs a value and a memref operand".into());
     }
     let mt = m.value_type(data.operands[1]);
-    let shape = mt.shape().ok_or_else(|| format!("affine.store target is not shaped: {mt}"))?;
+    let shape = mt
+        .shape()
+        .ok_or_else(|| format!("affine.store target is not shaped: {mt}"))?;
     let n_idx = data.operands.len() - 2;
     if n_idx != shape.len() {
         return Err(format!(
@@ -277,8 +301,13 @@ mod tests {
         let mut b = OpBuilder::at_end(&mut m, blk);
         let buf = b.memref_alloc(Type::memref(vec![4, 4], Type::I32));
         let i = b.const_index(0);
-        let bad =
-            m.create_op("affine.load", vec![buf, i], vec![Type::I32], Default::default(), vec![]);
+        let bad = m.create_op(
+            "affine.load",
+            vec![buf, i],
+            vec![Type::I32],
+            Default::default(),
+            vec![],
+        );
         m.append_op(m.top_block(), bad);
         assert!(verify_load(&m, bad).unwrap_err().contains("subscripts"));
     }
@@ -291,8 +320,13 @@ mod tests {
         let buf = b.memref_alloc(Type::memref(vec![2], Type::I32));
         let i = b.const_index(0);
         let v = b.const_float(1.0, Type::F32);
-        let bad =
-            m.create_op("affine.store", vec![v, buf, i], vec![], Default::default(), vec![]);
+        let bad = m.create_op(
+            "affine.store",
+            vec![v, buf, i],
+            vec![],
+            Default::default(),
+            vec![],
+        );
         m.append_op(m.top_block(), bad);
         assert!(verify_store(&m, bad).unwrap_err().contains("element type"));
     }

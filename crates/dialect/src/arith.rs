@@ -37,6 +37,7 @@ impl CmpPred {
     }
 
     /// Parses the attribute spelling back into a predicate.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Self> {
         Some(match s {
             "eq" => CmpPred::Eq,
@@ -100,12 +101,19 @@ fn binary(b: &mut OpBuilder<'_>, name: &str, lhs: ValueId, rhs: ValueId) -> Valu
     } else {
         b.module().value_type(rhs).clone()
     };
-    b.op(name).operand(lhs).operand(rhs).result(ty).finish_value()
+    b.op(name)
+        .operand(lhs)
+        .operand(rhs)
+        .result(ty)
+        .finish_value()
 }
 
 impl ArithBuilder for OpBuilder<'_> {
     fn const_int(&mut self, value: i64, ty: Type) -> ValueId {
-        self.op("arith.constant").attr("value", value).result(ty).finish_value()
+        self.op("arith.constant")
+            .attr("value", value)
+            .result(ty)
+            .finish_value()
     }
 
     fn const_index(&mut self, value: i64) -> ValueId {
@@ -113,7 +121,10 @@ impl ArithBuilder for OpBuilder<'_> {
     }
 
     fn const_float(&mut self, value: f64, ty: Type) -> ValueId {
-        self.op("arith.constant").attr("value", value).result(ty).finish_value()
+        self.op("arith.constant")
+            .attr("value", value)
+            .result(ty)
+            .finish_value()
     }
 
     fn addi(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
@@ -192,7 +203,10 @@ pub fn verify_binary(m: &Module, op: OpId) -> Result<(), String> {
     let wider = match (lt.is_shaped(), rt.is_shaped()) {
         (false, false) | (true, true) => {
             if !lt.matches(rt) {
-                return Err(format!("'{}' operand types differ: {lt} vs {rt}", data.name));
+                return Err(format!(
+                    "'{}' operand types differ: {lt} vs {rt}",
+                    data.name
+                ));
             }
             lt
         }
@@ -220,7 +234,10 @@ pub fn verify_binary(m: &Module, op: OpId) -> Result<(), String> {
     }
     let res = m.value_type(data.results[0]);
     if !res.matches(wider) {
-        return Err(format!("'{}' result type {res} does not match operands {wider}", data.name));
+        return Err(format!(
+            "'{}' result type {res} does not match operands {wider}",
+            data.name
+        ));
     }
     Ok(())
 }
@@ -228,7 +245,10 @@ pub fn verify_binary(m: &Module, op: OpId) -> Result<(), String> {
 /// Verifies `arith.cmpi`: valid predicate, two operands, one `i1` result.
 pub fn verify_cmpi(m: &Module, op: OpId) -> Result<(), String> {
     let data = m.op(op);
-    let pred = data.attrs.str("predicate").ok_or("arith.cmpi needs a 'predicate' attribute")?;
+    let pred = data
+        .attrs
+        .str("predicate")
+        .ok_or("arith.cmpi needs a 'predicate' attribute")?;
     if CmpPred::from_str(pred).is_none() {
         return Err(format!("unknown cmpi predicate '{pred}'"));
     }
@@ -266,7 +286,14 @@ mod tests {
 
     #[test]
     fn predicates_round_trip() {
-        for p in [CmpPred::Eq, CmpPred::Ne, CmpPred::Lt, CmpPred::Le, CmpPred::Gt, CmpPred::Ge] {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::Lt,
+            CmpPred::Le,
+            CmpPred::Gt,
+            CmpPred::Ge,
+        ] {
             assert_eq!(CmpPred::from_str(p.as_str()), Some(p));
         }
         assert_eq!(CmpPred::from_str("bogus"), None);
@@ -285,7 +312,13 @@ mod tests {
             }
         };
         assert!(verify_constant(&m, good).is_ok());
-        let bad = m.create_op("arith.constant", vec![], vec![Type::I32], Default::default(), vec![]);
+        let bad = m.create_op(
+            "arith.constant",
+            vec![],
+            vec![Type::I32],
+            Default::default(),
+            vec![],
+        );
         m.append_op(m.top_block(), bad);
         assert!(verify_constant(&m, bad).unwrap_err().contains("value"));
     }
@@ -298,7 +331,13 @@ mod tests {
         let x = b.const_int(1, Type::I32);
         let y = b.const_int(2, Type::I64);
         // Manually construct a mismatched addi.
-        let bad = m.create_op("arith.addi", vec![x, y], vec![Type::I32], Default::default(), vec![]);
+        let bad = m.create_op(
+            "arith.addi",
+            vec![x, y],
+            vec![Type::I32],
+            Default::default(),
+            vec![],
+        );
         m.append_op(m.top_block(), bad);
         assert!(verify_binary(&m, bad).unwrap_err().contains("differ"));
     }
@@ -309,7 +348,13 @@ mod tests {
         let blk = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, blk);
         let x = b.const_int(1, Type::I32);
-        let bad = m.create_op("arith.cmpi", vec![x, x], vec![Type::I32], Default::default(), vec![]);
+        let bad = m.create_op(
+            "arith.cmpi",
+            vec![x, x],
+            vec![Type::I32],
+            Default::default(),
+            vec![],
+        );
         m.append_op(m.top_block(), bad);
         assert!(verify_cmpi(&m, bad).is_err());
     }

@@ -64,6 +64,7 @@ impl ConnKind {
     }
 
     /// Parses the attribute spelling.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Self> {
         match s {
             "Streaming" => Some(ConnKind::Streaming),
@@ -138,14 +139,32 @@ pub trait EqueueBuilder {
     /// Result is the element type for single-element buffers, else a tensor.
     fn read(&mut self, buffer: ValueId, conn: Option<ValueId>) -> ValueId;
     /// `equeue.read` of one element at `indices`.
-    fn read_indexed(&mut self, buffer: ValueId, indices: Vec<ValueId>, conn: Option<ValueId>) -> ValueId;
+    fn read_indexed(
+        &mut self,
+        buffer: ValueId,
+        indices: Vec<ValueId>,
+        conn: Option<ValueId>,
+    ) -> ValueId;
     /// `equeue.write` of a whole buffer, optionally through a connection.
     fn write(&mut self, value: ValueId, buffer: ValueId, conn: Option<ValueId>);
     /// `equeue.write` of one element at `indices`.
-    fn write_indexed(&mut self, value: ValueId, buffer: ValueId, indices: Vec<ValueId>, conn: Option<ValueId>);
+    fn write_indexed(
+        &mut self,
+        value: ValueId,
+        buffer: ValueId,
+        indices: Vec<ValueId>,
+        conn: Option<ValueId>,
+    );
     /// `equeue.memcpy` from `src` to `dst` on DMA engine `dma`, gated by
     /// `dep`; returns the completion signal.
-    fn memcpy(&mut self, dep: ValueId, src: ValueId, dst: ValueId, dma: ValueId, conn: Option<ValueId>) -> ValueId;
+    fn memcpy(
+        &mut self,
+        dep: ValueId,
+        src: ValueId,
+        dst: ValueId,
+        dma: ValueId,
+        conn: Option<ValueId>,
+    ) -> ValueId;
     /// `equeue.control_start`: the root of an event chain.
     fn control_start(&mut self) -> ValueId;
     /// `equeue.control_and`: fires when **all** dependencies fire.
@@ -155,7 +174,13 @@ pub trait EqueueBuilder {
     /// `equeue.launch`: schedule a block on `proc` once `dep` fires.
     /// `captures` are bound to the body's block arguments; `extra_results`
     /// are returned by the body's `equeue.return`.
-    fn launch(&mut self, dep: ValueId, proc: ValueId, captures: &[ValueId], extra_results: Vec<Type>) -> LaunchParts;
+    fn launch(
+        &mut self,
+        dep: ValueId,
+        proc: ValueId,
+        captures: &[ValueId],
+        extra_results: Vec<Type>,
+    ) -> LaunchParts;
     /// `equeue.await` blocking on every signal in `deps`.
     fn await_all(&mut self, deps: Vec<ValueId>);
     /// `equeue.return` terminating a launch body.
@@ -167,7 +192,10 @@ pub trait EqueueBuilder {
 
 impl EqueueBuilder for OpBuilder<'_> {
     fn create_proc(&mut self, kind: &str) -> ValueId {
-        self.op("equeue.create_proc").attr("kind", kind).result(Type::Proc).finish_value()
+        self.op("equeue.create_proc")
+            .attr("kind", kind)
+            .result(Type::Proc)
+            .finish_value()
     }
 
     fn create_mem(&mut self, kind: &str, shape: &[usize], data_bits: u32, banks: u32) -> ValueId {
@@ -182,7 +210,9 @@ impl EqueueBuilder for OpBuilder<'_> {
     }
 
     fn create_dma(&mut self) -> ValueId {
-        self.op("equeue.create_dma").result(Type::Dma).finish_value()
+        self.op("equeue.create_dma")
+            .result(Type::Dma)
+            .finish_value()
     }
 
     fn create_comp(&mut self, names: &[&str], comps: Vec<ValueId>) -> ValueId {
@@ -198,11 +228,19 @@ impl EqueueBuilder for OpBuilder<'_> {
     fn add_comp(&mut self, comp: ValueId, names: &[&str], comps: Vec<ValueId>) {
         assert_eq!(names.len(), comps.len(), "one name per sub-component");
         let names_attr = Attr::StrArray(names.iter().map(|s| s.to_string()).collect());
-        self.op("equeue.add_comp").attr("names", names_attr).operand(comp).operands(comps).finish();
+        self.op("equeue.add_comp")
+            .attr("names", names_attr)
+            .operand(comp)
+            .operands(comps)
+            .finish();
     }
 
     fn get_comp(&mut self, comp: ValueId, name: &str, ty: Type) -> ValueId {
-        self.op("equeue.get_comp").attr("name", name).operand(comp).result(ty).finish_value()
+        self.op("equeue.get_comp")
+            .attr("name", name)
+            .operand(comp)
+            .result(ty)
+            .finish_value()
     }
 
     fn create_connection(&mut self, kind: ConnKind, bandwidth: u32) -> ValueId {
@@ -226,7 +264,10 @@ impl EqueueBuilder for OpBuilder<'_> {
 
     fn read(&mut self, buffer: ValueId, conn: Option<ValueId>) -> ValueId {
         let bt = self.module().value_type(buffer).clone();
-        let (shape, elem) = (bt.shape().unwrap_or(&[]).to_vec(), bt.elem().cloned().unwrap_or(Type::Any));
+        let (shape, elem) = (
+            bt.shape().unwrap_or(&[]).to_vec(),
+            bt.elem().cloned().unwrap_or(Type::Any),
+        );
         let result_ty = if shape.iter().product::<usize>() <= 1 {
             elem
         } else {
@@ -241,8 +282,18 @@ impl EqueueBuilder for OpBuilder<'_> {
             .finish_value()
     }
 
-    fn read_indexed(&mut self, buffer: ValueId, indices: Vec<ValueId>, conn: Option<ValueId>) -> ValueId {
-        let elem = self.module().value_type(buffer).elem().cloned().unwrap_or(Type::Any);
+    fn read_indexed(
+        &mut self,
+        buffer: ValueId,
+        indices: Vec<ValueId>,
+        conn: Option<ValueId>,
+    ) -> ValueId {
+        let elem = self
+            .module()
+            .value_type(buffer)
+            .elem()
+            .cloned()
+            .unwrap_or(Type::Any);
         let n_conn = conn.iter().len() as i64;
         self.op("equeue.read")
             .attr("segments", vec![1, indices.len() as i64, n_conn])
@@ -263,7 +314,13 @@ impl EqueueBuilder for OpBuilder<'_> {
             .finish();
     }
 
-    fn write_indexed(&mut self, value: ValueId, buffer: ValueId, indices: Vec<ValueId>, conn: Option<ValueId>) {
+    fn write_indexed(
+        &mut self,
+        value: ValueId,
+        buffer: ValueId,
+        indices: Vec<ValueId>,
+        conn: Option<ValueId>,
+    ) {
         let n_conn = conn.iter().len() as i64;
         self.op("equeue.write")
             .attr("segments", vec![1, 1, indices.len() as i64, n_conn])
@@ -274,7 +331,14 @@ impl EqueueBuilder for OpBuilder<'_> {
             .finish();
     }
 
-    fn memcpy(&mut self, dep: ValueId, src: ValueId, dst: ValueId, dma: ValueId, conn: Option<ValueId>) -> ValueId {
+    fn memcpy(
+        &mut self,
+        dep: ValueId,
+        src: ValueId,
+        dst: ValueId,
+        dma: ValueId,
+        conn: Option<ValueId>,
+    ) -> ValueId {
         let n_conn = conn.iter().len() as i64;
         self.op("equeue.memcpy")
             .attr("segments", vec![1, 1, 1, 1, n_conn])
@@ -285,20 +349,36 @@ impl EqueueBuilder for OpBuilder<'_> {
     }
 
     fn control_start(&mut self) -> ValueId {
-        self.op("equeue.control_start").result(Type::Signal).finish_value()
+        self.op("equeue.control_start")
+            .result(Type::Signal)
+            .finish_value()
     }
 
     fn control_and(&mut self, deps: Vec<ValueId>) -> ValueId {
-        self.op("equeue.control_and").operands(deps).result(Type::Signal).finish_value()
+        self.op("equeue.control_and")
+            .operands(deps)
+            .result(Type::Signal)
+            .finish_value()
     }
 
     fn control_or(&mut self, deps: Vec<ValueId>) -> ValueId {
-        self.op("equeue.control_or").operands(deps).result(Type::Signal).finish_value()
+        self.op("equeue.control_or")
+            .operands(deps)
+            .result(Type::Signal)
+            .finish_value()
     }
 
-    fn launch(&mut self, dep: ValueId, proc: ValueId, captures: &[ValueId], extra_results: Vec<Type>) -> LaunchParts {
-        let arg_types: Vec<Type> =
-            captures.iter().map(|&c| self.module().value_type(c).clone()).collect();
+    fn launch(
+        &mut self,
+        dep: ValueId,
+        proc: ValueId,
+        captures: &[ValueId],
+        extra_results: Vec<Type>,
+    ) -> LaunchParts {
+        let arg_types: Vec<Type> = captures
+            .iter()
+            .map(|&c| self.module().value_type(c).clone())
+            .collect();
         let (region, body) = self.region_with_block(arg_types);
         let body_args = self.module().block(body).args.clone();
         let mut result_types = vec![Type::Signal];
@@ -312,9 +392,16 @@ impl EqueueBuilder for OpBuilder<'_> {
             .region(region)
             .finish();
         let done = self.module().result(op, 0);
-        let results =
-            (1..self.module().op(op).results.len()).map(|i| self.module().result(op, i)).collect();
-        LaunchParts { op, done, results, body, body_args }
+        let results = (1..self.module().op(op).results.len())
+            .map(|i| self.module().result(op, i))
+            .collect();
+        LaunchParts {
+            op,
+            done,
+            results,
+            body,
+            body_args,
+        }
     }
 
     fn await_all(&mut self, deps: Vec<ValueId>) {
@@ -326,7 +413,11 @@ impl EqueueBuilder for OpBuilder<'_> {
     }
 
     fn ext_op(&mut self, signature: &str, operands: Vec<ValueId>, results: Vec<Type>) -> OpId {
-        self.op("equeue.op").attr("signature", signature).operands(operands).results(results).finish()
+        self.op("equeue.op")
+            .attr("signature", signature)
+            .operands(operands)
+            .results(results)
+            .finish()
     }
 }
 
@@ -350,7 +441,10 @@ pub struct ReadView {
 /// Fails when the `segments` attribute is missing or inconsistent.
 pub fn read_view(m: &Module, op: OpId) -> Result<ReadView, String> {
     let data = m.op(op);
-    let seg = data.attrs.int_array("segments").ok_or("equeue.read needs 'segments'")?;
+    let seg = data
+        .attrs
+        .int_array("segments")
+        .ok_or("equeue.read needs 'segments'")?;
     if seg.len() != 3 {
         return Err("equeue.read 'segments' must have 3 entries".into());
     }
@@ -361,7 +455,11 @@ pub fn read_view(m: &Module, op: OpId) -> Result<ReadView, String> {
     Ok(ReadView {
         buffer: data.operands[0],
         indices: data.operands[1..1 + ni].to_vec(),
-        conn: if nc == 1 { Some(data.operands[1 + ni]) } else { None },
+        conn: if nc == 1 {
+            Some(data.operands[1 + ni])
+        } else {
+            None
+        },
     })
 }
 
@@ -385,11 +483,19 @@ pub struct WriteView {
 /// Fails when the `segments` attribute is missing or inconsistent.
 pub fn write_view(m: &Module, op: OpId) -> Result<WriteView, String> {
     let data = m.op(op);
-    let seg = data.attrs.int_array("segments").ok_or("equeue.write needs 'segments'")?;
+    let seg = data
+        .attrs
+        .int_array("segments")
+        .ok_or("equeue.write needs 'segments'")?;
     if seg.len() != 4 {
         return Err("equeue.write 'segments' must have 4 entries".into());
     }
-    let (nv, nb, ni, nc) = (seg[0] as usize, seg[1] as usize, seg[2] as usize, seg[3] as usize);
+    let (nv, nb, ni, nc) = (
+        seg[0] as usize,
+        seg[1] as usize,
+        seg[2] as usize,
+        seg[3] as usize,
+    );
     if nv != 1 || nb != 1 || nc > 1 || data.operands.len() != nv + nb + ni + nc {
         return Err("equeue.write segments do not match operands".into());
     }
@@ -397,7 +503,11 @@ pub fn write_view(m: &Module, op: OpId) -> Result<WriteView, String> {
         value: data.operands[0],
         buffer: data.operands[1],
         indices: data.operands[2..2 + ni].to_vec(),
-        conn: if nc == 1 { Some(data.operands[2 + ni]) } else { None },
+        conn: if nc == 1 {
+            Some(data.operands[2 + ni])
+        } else {
+            None
+        },
     })
 }
 
@@ -423,7 +533,10 @@ pub struct MemcpyView {
 /// Fails when the `segments` attribute is missing or inconsistent.
 pub fn memcpy_view(m: &Module, op: OpId) -> Result<MemcpyView, String> {
     let data = m.op(op);
-    let seg = data.attrs.int_array("segments").ok_or("equeue.memcpy needs 'segments'")?;
+    let seg = data
+        .attrs
+        .int_array("segments")
+        .ok_or("equeue.memcpy needs 'segments'")?;
     if seg.len() != 5 {
         return Err("equeue.memcpy 'segments' must have 5 entries".into());
     }
@@ -436,7 +549,11 @@ pub fn memcpy_view(m: &Module, op: OpId) -> Result<MemcpyView, String> {
         src: data.operands[1],
         dst: data.operands[2],
         dma: data.operands[3],
-        conn: if nc == 1 { Some(data.operands[4]) } else { None },
+        conn: if nc == 1 {
+            Some(data.operands[4])
+        } else {
+            None
+        },
     })
 }
 
@@ -506,11 +623,17 @@ pub fn verify_create_mem(m: &Module, op: OpId) -> Result<(), String> {
     if data.attrs.str("kind").is_none() {
         return Err("create_mem needs a 'kind' attribute".into());
     }
-    let shape = data.attrs.shape("shape").ok_or("create_mem needs a 'shape' attribute")?;
+    let shape = data
+        .attrs
+        .shape("shape")
+        .ok_or("create_mem needs a 'shape' attribute")?;
     if shape.is_empty() || shape.iter().product::<usize>() == 0 {
         return Err("create_mem shape must be non-empty".into());
     }
-    let bits = data.attrs.int("data_bits").ok_or("create_mem needs 'data_bits'")?;
+    let bits = data
+        .attrs
+        .int("data_bits")
+        .ok_or("create_mem needs 'data_bits'")?;
     if bits <= 0 {
         return Err("create_mem data_bits must be positive".into());
     }
@@ -568,11 +691,17 @@ pub fn verify_get_comp(m: &Module, op: OpId) -> Result<(), String> {
 /// Verifies `equeue.create_connection`: a known kind and a bandwidth.
 pub fn verify_create_connection(m: &Module, op: OpId) -> Result<(), String> {
     let data = m.op(op);
-    let kind = data.attrs.str("kind").ok_or("create_connection needs 'kind'")?;
+    let kind = data
+        .attrs
+        .str("kind")
+        .ok_or("create_connection needs 'kind'")?;
     if ConnKind::from_str(kind).is_none() {
         return Err(format!("unknown connection kind '{kind}'"));
     }
-    let bw = data.attrs.int("bandwidth").ok_or("create_connection needs 'bandwidth'")?;
+    let bw = data
+        .attrs
+        .int("bandwidth")
+        .ok_or("create_connection needs 'bandwidth'")?;
     if bw < 0 {
         return Err("bandwidth must be non-negative (0 = unlimited)".into());
     }
@@ -688,7 +817,9 @@ pub fn verify_launch(m: &Module, op: OpId) -> Result<(), String> {
     }
     let pt = m.value_type(v.proc);
     if *pt != Type::Proc && *pt != Type::Dma {
-        return Err(format!("launch target must be a processor or DMA, got {pt}"));
+        return Err(format!(
+            "launch target must be a processor or DMA, got {pt}"
+        ));
     }
     if *m.value_type(v.done) != Type::Signal {
         return Err("launch result 0 must be the done signal".into());
@@ -717,7 +848,9 @@ pub fn verify_launch(m: &Module, op: OpId) -> Result<(), String> {
         .copied()
         .filter(|&o| !m.op(o).erased)
         .collect();
-    let last = body_ops.last().ok_or("launch body must end with equeue.return")?;
+    let last = body_ops
+        .last()
+        .ok_or("launch body must end with equeue.return")?;
     if m.op(*last).name != "equeue.return" {
         return Err("launch body must end with equeue.return".into());
     }
@@ -827,7 +960,11 @@ mod tests {
         let mut b = OpBuilder::at_end(&mut m, blk);
         let mem = b.create_mem(kinds::SRAM, &[64], 32, 1);
         let buf = b.alloc(mem, &[8, 8], Type::I32);
-        let zero = b.op("arith.constant").attr("value", 0i64).result(Type::Index).finish_value();
+        let zero = b
+            .op("arith.constant")
+            .attr("value", 0i64)
+            .result(Type::Index)
+            .finish_value();
         let v = b.read_indexed(buf, vec![zero, zero], None);
         assert_eq!(*m.value_type(v), Type::I32);
         let read = m.find_first("equeue.read").unwrap();
@@ -860,7 +997,10 @@ mod tests {
         assert_eq!(*m.value_type(done), Type::Signal);
         let mc = m.find_first("equeue.memcpy").unwrap();
         let v = memcpy_view(&m, mc).unwrap();
-        assert_eq!((v.dep, v.src, v.dst, v.dma, v.conn), (start, buf0, buf1, dma, None));
+        assert_eq!(
+            (v.dep, v.src, v.dst, v.dma, v.conn),
+            (start, buf0, buf1, dma, None)
+        );
         assert!(verify_memcpy(&m, mc).is_ok());
     }
 
@@ -882,7 +1022,11 @@ mod tests {
         let lv = launch_view(&m, parts.op).unwrap();
         assert_eq!(lv.captures, vec![buf]);
         assert_eq!(lv.results.len(), 1);
-        assert!(verify_launch(&m, parts.op).is_ok(), "{:?}", verify_launch(&m, parts.op));
+        assert!(
+            verify_launch(&m, parts.op).is_ok(),
+            "{:?}",
+            verify_launch(&m, parts.op)
+        );
     }
 
     #[test]
@@ -893,7 +1037,9 @@ mod tests {
         let proc = b.create_proc(kinds::MAC);
         let start = b.control_start();
         let parts = b.launch(start, proc, &[], vec![]);
-        assert!(verify_launch(&m, parts.op).unwrap_err().contains("equeue.return"));
+        assert!(verify_launch(&m, parts.op)
+            .unwrap_err()
+            .contains("equeue.return"));
     }
 
     #[test]
@@ -921,7 +1067,11 @@ mod tests {
         let both = b.control_and(vec![s1, s2]);
         let either = b.control_or(vec![s1, s2]);
         b.await_all(vec![both, either]);
-        for name in ["equeue.control_start", "equeue.control_and", "equeue.control_or"] {
+        for name in [
+            "equeue.control_start",
+            "equeue.control_and",
+            "equeue.control_or",
+        ] {
             let op = m.find_first(name).unwrap();
             assert!(verify_control(&m, op).is_ok(), "{name}");
         }

@@ -33,7 +33,14 @@ pub struct ConvDims {
 impl ConvDims {
     /// A square problem: `H = W = hw`, `Fh = Fw = f`.
     pub fn square(hw: usize, f: usize, c: usize, n: usize) -> Self {
-        ConvDims { h: hw, w: hw, fh: f, fw: f, c, n }
+        ConvDims {
+            h: hw,
+            w: hw,
+            fh: f,
+            fw: f,
+            c,
+            n,
+        }
     }
 
     /// Output feature-map height `Eh = H − Fh + 1`.
@@ -107,7 +114,9 @@ pub trait LinalgBuilder {
 
 impl LinalgBuilder for OpBuilder<'_> {
     fn linalg_conv2d(&mut self, ifmap: ValueId, weights: ValueId, ofmap: ValueId) -> OpId {
-        self.op("linalg.conv2d").operands(vec![ifmap, weights, ofmap]).finish()
+        self.op("linalg.conv2d")
+            .operands(vec![ifmap, weights, ofmap])
+            .finish()
     }
 
     fn linalg_matmul(&mut self, a: ValueId, b: ValueId, c: ValueId) -> OpId {
@@ -115,7 +124,9 @@ impl LinalgBuilder for OpBuilder<'_> {
     }
 
     fn linalg_fill(&mut self, scalar: ValueId, buffer: ValueId) -> OpId {
-        self.op("linalg.fill").operands(vec![scalar, buffer]).finish()
+        self.op("linalg.fill")
+            .operands(vec![scalar, buffer])
+            .finish()
     }
 }
 
@@ -145,7 +156,10 @@ pub fn conv2d_dims(m: &Module, op: OpId) -> Result<ConvDims, String> {
         .ok_or("conv2d ofmap must be shaped")?
         .to_vec();
     if ishape.len() != 3 {
-        return Err(format!("conv2d ifmap must be rank 3 (CxHxW), got rank {}", ishape.len()));
+        return Err(format!(
+            "conv2d ifmap must be rank 3 (CxHxW), got rank {}",
+            ishape.len()
+        ));
     }
     if wshape.len() != 4 {
         return Err(format!(
@@ -154,11 +168,24 @@ pub fn conv2d_dims(m: &Module, op: OpId) -> Result<ConvDims, String> {
         ));
     }
     if oshape.len() != 3 {
-        return Err(format!("conv2d ofmap must be rank 3 (NxEhxEw), got rank {}", oshape.len()));
+        return Err(format!(
+            "conv2d ofmap must be rank 3 (NxEhxEw), got rank {}",
+            oshape.len()
+        ));
     }
-    let dims = ConvDims { c: ishape[0], h: ishape[1], w: ishape[2], n: wshape[0], fh: wshape[2], fw: wshape[3] };
+    let dims = ConvDims {
+        c: ishape[0],
+        h: ishape[1],
+        w: ishape[2],
+        n: wshape[0],
+        fh: wshape[2],
+        fw: wshape[3],
+    };
     if wshape[1] != dims.c {
-        return Err(format!("conv2d channel mismatch: ifmap C={} weights C={}", dims.c, wshape[1]));
+        return Err(format!(
+            "conv2d channel mismatch: ifmap C={} weights C={}",
+            dims.c, wshape[1]
+        ));
     }
     if oshape != vec![dims.n, dims.eh(), dims.ew()] {
         return Err(format!(
@@ -214,7 +241,10 @@ pub fn verify_fill(m: &Module, op: OpId) -> Result<(), String> {
         return Err("linalg.fill target must be shaped".into());
     }
     if !st.matches(bt.elem().unwrap()) {
-        return Err(format!("linalg.fill scalar {st} does not match element {}", bt.elem().unwrap()));
+        return Err(format!(
+            "linalg.fill scalar {st} does not match element {}",
+            bt.elem().unwrap()
+        ));
     }
     Ok(())
 }

@@ -3,24 +3,50 @@
 use crate::{affine, arith, equeue, linalg};
 use equeue_ir::{DialectRegistry, OpTraits};
 
-const PURE: OpTraits =
-    OpTraits { is_terminator: false, is_pure: true, is_event: false, is_structure: false };
-const TERM: OpTraits =
-    OpTraits { is_terminator: true, is_pure: false, is_event: false, is_structure: false };
-const EVENT: OpTraits =
-    OpTraits { is_terminator: false, is_pure: false, is_event: true, is_structure: false };
-const STRUCT: OpTraits =
-    OpTraits { is_terminator: false, is_pure: false, is_event: false, is_structure: true };
-const PLAIN: OpTraits =
-    OpTraits { is_terminator: false, is_pure: false, is_event: false, is_structure: false };
+const PURE: OpTraits = OpTraits {
+    is_terminator: false,
+    is_pure: true,
+    is_event: false,
+    is_structure: false,
+};
+const TERM: OpTraits = OpTraits {
+    is_terminator: true,
+    is_pure: false,
+    is_event: false,
+    is_structure: false,
+};
+const EVENT: OpTraits = OpTraits {
+    is_terminator: false,
+    is_pure: false,
+    is_event: true,
+    is_structure: false,
+};
+const STRUCT: OpTraits = OpTraits {
+    is_terminator: false,
+    is_pure: false,
+    is_event: false,
+    is_structure: true,
+};
+const PLAIN: OpTraits = OpTraits {
+    is_terminator: false,
+    is_pure: false,
+    is_event: false,
+    is_structure: false,
+};
 
 /// Registers the arith, affine, linalg, and equeue dialects into `reg`.
 pub fn register_into(reg: &mut DialectRegistry) {
     // arith ----------------------------------------------------------------
     reg.register_op("arith.constant", PURE, Some(arith::verify_constant));
-    for name in
-        ["arith.addi", "arith.subi", "arith.muli", "arith.divi", "arith.remi", "arith.addf", "arith.mulf"]
-    {
+    for name in [
+        "arith.addi",
+        "arith.subi",
+        "arith.muli",
+        "arith.divi",
+        "arith.remi",
+        "arith.addf",
+        "arith.mulf",
+    ] {
         reg.register_op(name, PURE, Some(arith::verify_binary));
     }
     reg.register_op("arith.cmpi", PURE, Some(arith::verify_cmpi));
@@ -41,13 +67,21 @@ pub fn register_into(reg: &mut DialectRegistry) {
     reg.register_op("linalg.fill", PLAIN, Some(linalg::verify_fill));
 
     // equeue structure --------------------------------------------------------
-    reg.register_op("equeue.create_proc", STRUCT, Some(equeue::verify_create_proc));
+    reg.register_op(
+        "equeue.create_proc",
+        STRUCT,
+        Some(equeue::verify_create_proc),
+    );
     reg.register_op("equeue.create_mem", STRUCT, Some(equeue::verify_create_mem));
     reg.register_op("equeue.create_dma", STRUCT, None);
     reg.register_op("equeue.create_comp", STRUCT, Some(equeue::verify_comp));
     reg.register_op("equeue.add_comp", STRUCT, Some(equeue::verify_comp));
     reg.register_op("equeue.get_comp", STRUCT, Some(equeue::verify_get_comp));
-    reg.register_op("equeue.create_connection", STRUCT, Some(equeue::verify_create_connection));
+    reg.register_op(
+        "equeue.create_connection",
+        STRUCT,
+        Some(equeue::verify_create_connection),
+    );
 
     // equeue data movement ------------------------------------------------------
     reg.register_op("equeue.alloc", PLAIN, Some(equeue::verify_alloc));

@@ -2,7 +2,7 @@
 //! structured views and verifiers with actionable messages, not panics.
 
 use equeue_dialect::{
-    launch_view, memcpy_view, read_view, standard_registry, write_view, EqueueBuilder, kinds,
+    kinds, launch_view, memcpy_view, read_view, standard_registry, write_view, EqueueBuilder,
 };
 use equeue_ir::{verify_module, AttrMap, Module, OpBuilder, Type};
 
@@ -18,7 +18,13 @@ fn module_with_buffer() -> (Module, equeue_ir::ValueId) {
 #[test]
 fn read_without_segments_rejected() {
     let (mut m, buf) = module_with_buffer();
-    let op = m.create_op("equeue.read", vec![buf], vec![Type::I32], AttrMap::new(), vec![]);
+    let op = m.create_op(
+        "equeue.read",
+        vec![buf],
+        vec![Type::I32],
+        AttrMap::new(),
+        vec![],
+    );
     m.append_op(m.top_block(), op);
     let err = read_view(&m, op).unwrap_err();
     assert!(err.contains("segments"), "{err}");
@@ -50,8 +56,13 @@ fn memcpy_missing_operands_rejected() {
     let (mut m, buf) = module_with_buffer();
     let mut attrs = AttrMap::new();
     attrs.set("segments", vec![1i64, 1, 1, 1, 0]);
-    let op =
-        m.create_op("equeue.memcpy", vec![buf, buf], vec![Type::Signal], attrs, vec![]);
+    let op = m.create_op(
+        "equeue.memcpy",
+        vec![buf, buf],
+        vec![Type::Signal],
+        attrs,
+        vec![],
+    );
     m.append_op(m.top_block(), op);
     assert!(memcpy_view(&m, op).unwrap_err().contains("segments"));
 }

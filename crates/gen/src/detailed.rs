@@ -99,14 +99,16 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
     for &sz in &sizes {
         load_bufs.insert(sz, b.alloc(stationary_sram, &[sz], Type::I32));
     }
-    let row_bufs: Vec<ValueId> =
-        (0..max_ru).map(|_| b.alloc(stream_sram, &[stream.max(1)], Type::I32)).collect();
+    let row_bufs: Vec<ValueId> = (0..max_ru)
+        .map(|_| b.alloc(stream_sram, &[stream.max(1)], Type::I32))
+        .collect();
     let drain_elems = match spec.dataflow {
         Dataflow::Os => max_ru,
         _ => stream,
     };
-    let col_bufs: Vec<ValueId> =
-        (0..max_cu).map(|_| b.alloc(ofmap_sram, &[drain_elems.max(1)], Type::I32)).collect();
+    let col_bufs: Vec<ValueId> = (0..max_cu)
+        .map(|_| b.alloc(ofmap_sram, &[drain_elems.max(1)], Type::I32))
+        .collect();
 
     let mut prev_done = b.control_start();
     for fi in 0..fr {
@@ -120,7 +122,10 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
                 let mut ib = OpBuilder::at_end(b.module_mut(), load.body);
                 if spec.dataflow == Dataflow::Os {
                     let cycles = (ru * cu).div_ceil(spec.cols) as i64;
-                    ib.op("equeue.op").attr("signature", "reset_acc").attr("cycles", cycles).finish();
+                    ib.op("equeue.op")
+                        .attr("signature", "reset_acc")
+                        .attr("cycles", cycles)
+                        .finish();
                 } else {
                     ib.read(load_bufs[&(ru * cu)], None);
                 }
@@ -146,7 +151,10 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
                     let skew = b.launch(dep, pes[i][j], &[], vec![]);
                     {
                         let mut ib = OpBuilder::at_end(b.module_mut(), skew.body);
-                        ib.op("equeue.op").attr("signature", "skew").attr("cycles", 1i64).finish();
+                        ib.op("equeue.op")
+                            .attr("signature", "skew")
+                            .attr("cycles", 1i64)
+                            .finish();
                         ib.ret(vec![]);
                     }
                     b = OpBuilder::at_end(&mut module, top);
@@ -158,7 +166,8 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
                     // a 1-cycle step op; OS costs two cycles per element
                     // (two operands enter per accumulation).
                     let boundary = j == 0 || (spec.dataflow == Dataflow::Os && i == 0);
-                    let work = b.launch(skew.done, pes[i][j], &[row_bufs[i.min(max_ru - 1)]], vec![]);
+                    let work =
+                        b.launch(skew.done, pes[i][j], &[row_bufs[i.min(max_ru - 1)]], vec![]);
                     {
                         let mut ib = OpBuilder::at_end(b.module_mut(), work.body);
                         let (_, body, iv) = ib.affine_for(0, stream.max(1) as i64, 1);
@@ -208,7 +217,11 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
                     let (_, body, iv) = ib.affine_for(0, drain_sz.max(1) as i64, 1);
                     {
                         let mut lb = OpBuilder::at_end(ib.module_mut(), body);
-                        let zero = lb.op("arith.constant").attr("value", 0i64).result(Type::I32).finish_value();
+                        let zero = lb
+                            .op("arith.constant")
+                            .attr("value", 0i64)
+                            .result(Type::I32)
+                            .finish_value();
                         lb.write_indexed(zero, st.body_args[0], vec![iv], Some(conn_out));
                         lb.affine_yield();
                     }
@@ -226,7 +239,13 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
     }
     b.await_all(vec![prev_done]);
 
-    SystolicProgram { module, folds: meta.folds, d1, d2, stream }
+    SystolicProgram {
+        module,
+        folds: meta.folds,
+        d1,
+        d2,
+        stream,
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +256,11 @@ mod tests {
     #[test]
     fn fidelity_wave_equals_per_element_ws() {
         for (rows, hw, f, n) in [(2usize, 5usize, 2usize, 2usize), (4, 6, 2, 3)] {
-            let spec = SystolicSpec { rows, cols: rows, dataflow: Dataflow::Ws };
+            let spec = SystolicSpec {
+                rows,
+                cols: rows,
+                dataflow: Dataflow::Ws,
+            };
             let dims = ConvDims::square(hw, f, 1, n);
             let wave = simulate(&generate_systolic(&spec, dims).module).unwrap();
             let detailed = simulate(&generate_systolic_detailed(&spec, dims).module).unwrap();
@@ -247,7 +270,11 @@ mod tests {
 
     #[test]
     fn fidelity_wave_equals_per_element_is() {
-        let spec = SystolicSpec { rows: 2, cols: 2, dataflow: Dataflow::Is };
+        let spec = SystolicSpec {
+            rows: 2,
+            cols: 2,
+            dataflow: Dataflow::Is,
+        };
         let dims = ConvDims::square(4, 2, 1, 3);
         let wave = simulate(&generate_systolic(&spec, dims).module).unwrap();
         let detailed = simulate(&generate_systolic_detailed(&spec, dims).module).unwrap();
@@ -256,7 +283,11 @@ mod tests {
 
     #[test]
     fn fidelity_per_element_costs_more_events() {
-        let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+        let spec = SystolicSpec {
+            rows: 4,
+            cols: 4,
+            dataflow: Dataflow::Ws,
+        };
         let dims = ConvDims::square(8, 2, 3, 2);
         let wave = simulate(&generate_systolic(&spec, dims).module).unwrap();
         let detailed = simulate(&generate_systolic_detailed(&spec, dims).module).unwrap();
@@ -273,7 +304,11 @@ mod tests {
 
     #[test]
     fn fidelity_traffic_matches_wave_model() {
-        let spec = SystolicSpec { rows: 2, cols: 2, dataflow: Dataflow::Ws };
+        let spec = SystolicSpec {
+            rows: 2,
+            cols: 2,
+            dataflow: Dataflow::Ws,
+        };
         let dims = ConvDims::square(5, 2, 1, 2);
         let wave = simulate(&generate_systolic(&spec, dims).module).unwrap();
         let detailed = simulate(&generate_systolic_detailed(&spec, dims).module).unwrap();

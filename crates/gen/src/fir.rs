@@ -50,7 +50,10 @@ pub struct FirSpec {
 
 impl Default for FirSpec {
     fn default() -> Self {
-        FirSpec { taps: 32, samples: 512 }
+        FirSpec {
+            taps: 32,
+            samples: 512,
+        }
     }
 }
 
@@ -100,7 +103,12 @@ impl FirCase {
 
     /// All four cases in paper order.
     pub fn all() -> [FirCase; 4] {
-        [FirCase::SingleCore, FirCase::Pipelined16, FirCase::Bandwidth16, FirCase::Balanced4]
+        [
+            FirCase::SingleCore,
+            FirCase::Pipelined16,
+            FirCase::Bandwidth16,
+            FirCase::Balanced4,
+        ]
     }
 
     /// Display name.
@@ -141,10 +149,13 @@ pub struct FirProgram {
 /// assert_eq!(simulate(&prog.module).unwrap().cycles, 2048);
 /// ```
 pub fn generate_fir(spec: FirSpec, case: FirCase) -> FirProgram {
-    assert!(spec.samples > 0 && spec.samples % 4 == 0, "samples must be a positive multiple of 4");
+    assert!(
+        spec.samples > 0 && spec.samples.is_multiple_of(4),
+        "samples must be a positive multiple of 4"
+    );
     let cores = case.cores();
     assert!(
-        spec.ops_per_group() % cores == 0 && spec.ops_per_group() > 0,
+        spec.ops_per_group().is_multiple_of(cores) && spec.ops_per_group() > 0,
         "taps/2 must divide evenly across cores"
     );
     let module = match case {
@@ -207,7 +218,9 @@ fn pipelined(spec: FirSpec, cores: usize, bandwidth: Option<u32>) -> Module {
     let ops_per_core = spec.ops_per_group() / cores;
 
     let mut b = OpBuilder::at_end(&mut module, top);
-    let aies: Vec<ValueId> = (0..cores).map(|_| b.create_proc(kinds::AI_ENGINE)).collect();
+    let aies: Vec<ValueId> = (0..cores)
+        .map(|_| b.create_proc(kinds::AI_ENGINE))
+        .collect();
     let dmas: Vec<ValueId> = (0..cores).map(|_| b.create_dma()).collect();
     let conns: Vec<ValueId> = (0..cores)
         .map(|_| b.create_connection(ConnKind::Streaming, bandwidth.unwrap_or(0)))
@@ -329,7 +342,12 @@ mod tests {
         let report = simulate(&prog.module).unwrap();
         let err = (report.cycles as f64 - reference::PAPER_CASE4 as f64).abs()
             / reference::PAPER_CASE4 as f64;
-        assert!(err < 0.01, "got {} vs paper {}", report.cycles, reference::PAPER_CASE4);
+        assert!(
+            err < 0.01,
+            "got {} vs paper {}",
+            report.cycles,
+            reference::PAPER_CASE4
+        );
         // Balanced: the middle cores are fully busy in steady state.
         let busy: u64 = report
             .trace
@@ -356,7 +374,10 @@ mod tests {
 
     #[test]
     fn smaller_workloads_scale() {
-        let spec = FirSpec { taps: 16, samples: 64 };
+        let spec = FirSpec {
+            taps: 16,
+            samples: 64,
+        };
         let prog = generate_fir(spec, FirCase::SingleCore);
         // 16 groups × 8 ops.
         assert_eq!(simulate(&prog.module).unwrap().cycles, 128);
@@ -369,7 +390,10 @@ mod tests {
         let report = simulate_with(
             &prog.module,
             &lib,
-            &SimOptions { trace: false, ..Default::default() },
+            &SimOptions {
+                trace: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.cycles, reference::PAPER_CASE3);

@@ -39,7 +39,12 @@ pub enum Stage {
 impl Stage {
     /// All four stages in pipeline order.
     pub fn all() -> [Stage; 4] {
-        [Stage::Linalg, Stage::Affine, Stage::Reassign, Stage::Systolic]
+        [
+            Stage::Linalg,
+            Stage::Affine,
+            Stage::Reassign,
+            Stage::Systolic,
+        ]
     }
 
     /// Display name.
@@ -92,8 +97,15 @@ pub fn build_stage_program(
     dataflow: Dataflow,
 ) -> StageProgram {
     if stage == Stage::Systolic {
-        let spec = SystolicSpec { rows: array.0, cols: array.1, dataflow };
-        return StageProgram { module: generate_systolic(&spec, dims).module, stage };
+        let spec = SystolicSpec {
+            rows: array.0,
+            cols: array.1,
+            dataflow,
+        };
+        return StageProgram {
+            module: generate_systolic(&spec, dims).module,
+            stage,
+        };
     }
 
     // Common front: structure + memref buffers + the Linalg op.
@@ -106,7 +118,10 @@ pub fn build_stage_program(
     let dma = b.create_dma();
     b.create_comp(&["Kernel", "SRAM", "DMA"], vec![kernel, sram, dma]);
     let ifmap = b.memref_alloc(Type::memref(vec![dims.c, dims.h, dims.w], Type::I32));
-    let weights = b.memref_alloc(Type::memref(vec![dims.n, dims.c, dims.fh, dims.fw], Type::I32));
+    let weights = b.memref_alloc(Type::memref(
+        vec![dims.n, dims.c, dims.fh, dims.fw],
+        Type::I32,
+    ));
     let ofmap = b.memref_alloc(Type::memref(vec![dims.n, dims.eh(), dims.ew()], Type::I32));
     b.linalg_conv2d(ifmap, weights, ofmap);
 
@@ -118,7 +133,9 @@ pub fn build_stage_program(
             pm.add(WrapInLaunch::new(kernel));
         }
         Stage::Affine => {
-            pm.add(ConvertLinalgToAffineLoops).add(EqueueReadWrite).add(WrapInLaunch::new(kernel));
+            pm.add(ConvertLinalgToAffineLoops)
+                .add(EqueueReadWrite)
+                .add(WrapInLaunch::new(kernel));
         }
         Stage::Reassign => {
             pm.add(ConvertLinalgToAffineLoops)

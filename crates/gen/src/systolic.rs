@@ -90,7 +90,10 @@ fn mapping(dims: ConvDims, df: Dataflow) -> (usize, usize, usize, bool) {
 /// ```
 pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram {
     assert!(spec.rows > 0 && spec.cols > 0, "array must be non-empty");
-    assert!(dims.fh <= dims.h && dims.fw <= dims.w, "filter must fit in the input");
+    assert!(
+        dims.fh <= dims.h && dims.fw <= dims.w,
+        "filter must fit in the input"
+    );
     let (d1, d2, stream, double) = mapping(dims, spec.dataflow);
     let fr = d1.div_ceil(spec.rows);
     let fc = d2.div_ceil(spec.cols);
@@ -135,8 +138,7 @@ pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram
 
     let mut b = OpBuilder::at_end(&mut module, top);
     let kernel = b.create_proc(kinds::ARM_R5);
-    let stationary_sram =
-        b.create_mem(kinds::SRAM, &[stationary_capacity], 32, spec.cols as u32);
+    let stationary_sram = b.create_mem(kinds::SRAM, &[stationary_capacity], 32, spec.cols as u32);
     let stream_sram = {
         // One port per row so boundary PEs stream in parallel; single bank
         // so one row's stream is one element per cycle.
@@ -179,8 +181,12 @@ pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram
 
     // Group everything under one composite, with names, as in Fig. 2.
     {
-        let mut names: Vec<String> =
-            vec!["Kernel".into(), "StationarySRAM".into(), "StreamSRAM".into(), "OfmapSRAM".into()];
+        let mut names: Vec<String> = vec![
+            "Kernel".into(),
+            "StationarySRAM".into(),
+            "StreamSRAM".into(),
+            "OfmapSRAM".into(),
+        ];
         let mut comps = vec![kernel, stationary_sram, stream_sram, ofmap_sram];
         for (i, row) in pes.iter().enumerate() {
             for (j, &pe) in row.iter().enumerate() {
@@ -202,12 +208,14 @@ pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram
         let buf = b.alloc(stationary_sram, &[sz], Type::I32);
         load_bufs.insert(sz, buf);
     }
-    let row_bufs: Vec<ValueId> =
-        (0..max_ru).map(|_| b.alloc(stream_sram, &[stream.max(1)], Type::I32)).collect();
+    let row_bufs: Vec<ValueId> = (0..max_ru)
+        .map(|_| b.alloc(stream_sram, &[stream.max(1)], Type::I32))
+        .collect();
     let mut col_bufs: HashMap<usize, Vec<ValueId>> = HashMap::new();
     for &sz in &drain_sizes {
-        let bufs =
-            (0..max_cu).map(|_| b.alloc(ofmap_sram, &[sz.max(1)], Type::I32)).collect();
+        let bufs = (0..max_cu)
+            .map(|_| b.alloc(ofmap_sram, &[sz.max(1)], Type::I32))
+            .collect();
         col_bufs.insert(sz, bufs);
     }
 
@@ -269,8 +277,8 @@ pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram
                     let work = b.launch(skew.done, pes[i][j], &[], vec![]);
                     {
                         let mut ib = OpBuilder::at_end(b.module_mut(), work.body);
-                        let boundary_read = j == 0
-                            || (spec.dataflow == Dataflow::Os && i == 0 && j > 0);
+                        let boundary_read =
+                            j == 0 || (spec.dataflow == Dataflow::Os && i == 0 && j > 0);
                         if boundary_read {
                             // Boundary PEs perform the fold's real SRAM
                             // stream (ifmap from the left edge; for OS,
@@ -316,7 +324,11 @@ pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram
                     Dataflow::Os => bottom_work[j].unwrap(),
                     _ => skew_done[ru - 1][j].unwrap(),
                 };
-                let zero = b.op("arith.constant").attr("value", 0i64).result(Type::I32).finish_value();
+                let zero = b
+                    .op("arith.constant")
+                    .attr("value", 0i64)
+                    .result(Type::I32)
+                    .finish_value();
                 let st = b.launch(dep, store, &[], vec![]);
                 {
                     let mut ib = OpBuilder::at_end(b.module_mut(), st.body);
@@ -334,7 +346,13 @@ pub fn generate_systolic(spec: &SystolicSpec, dims: ConvDims) -> SystolicProgram
     }
     b.await_all(vec![prev_done]);
 
-    SystolicProgram { module, folds: (fr, fc), d1, d2, stream }
+    SystolicProgram {
+        module,
+        folds: (fr, fc),
+        d1,
+        d2,
+        stream,
+    }
 }
 
 #[cfg(test)]
@@ -370,7 +388,11 @@ mod tests {
 
     #[test]
     fn verifies_and_simulates() {
-        let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+        let spec = SystolicSpec {
+            rows: 4,
+            cols: 4,
+            dataflow: Dataflow::Ws,
+        };
         let prog = generate_systolic(&spec, ConvDims::square(8, 2, 3, 1));
         verify_module(&prog.module, &standard_registry()).unwrap();
         let report = simulate(&prog.module).unwrap();
@@ -382,7 +404,11 @@ mod tests {
     #[test]
     fn matches_analytical_model_ws() {
         for hw in [4usize, 8, 16] {
-            let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+            let spec = SystolicSpec {
+                rows: 4,
+                cols: 4,
+                dataflow: Dataflow::Ws,
+            };
             let dims = ConvDims::square(hw, 2, 3, 2);
             let prog = generate_systolic(&spec, dims);
             let report = simulate(&prog.module).unwrap();
@@ -393,7 +419,11 @@ mod tests {
 
     #[test]
     fn matches_analytical_model_is() {
-        let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Is };
+        let spec = SystolicSpec {
+            rows: 4,
+            cols: 4,
+            dataflow: Dataflow::Is,
+        };
         let dims = ConvDims::square(8, 2, 3, 4);
         let prog = generate_systolic(&spec, dims);
         let report = simulate(&prog.module).unwrap();
@@ -402,7 +432,11 @@ mod tests {
 
     #[test]
     fn close_to_analytical_model_os() {
-        let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Os };
+        let spec = SystolicSpec {
+            rows: 4,
+            cols: 4,
+            dataflow: Dataflow::Os,
+        };
         let dims = ConvDims::square(8, 2, 3, 4);
         let prog = generate_systolic(&spec, dims);
         let report = simulate(&prog.module).unwrap();
@@ -413,7 +447,11 @@ mod tests {
 
     #[test]
     fn sram_traffic_counted() {
-        let spec = SystolicSpec { rows: 4, cols: 4, dataflow: Dataflow::Ws };
+        let spec = SystolicSpec {
+            rows: 4,
+            cols: 4,
+            dataflow: Dataflow::Ws,
+        };
         let dims = ConvDims::square(8, 2, 3, 1);
         let prog = generate_systolic(&spec, dims);
         let report = simulate(&prog.module).unwrap();
@@ -437,10 +475,22 @@ mod tests {
     #[test]
     fn bigger_arrays_cut_cycles() {
         let dims = ConvDims::square(12, 3, 4, 8); // K = 36
-        let small = SystolicSpec { rows: 2, cols: 2, dataflow: Dataflow::Ws };
-        let big = SystolicSpec { rows: 8, cols: 8, dataflow: Dataflow::Ws };
-        let cs = simulate(&generate_systolic(&small, dims).module).unwrap().cycles;
-        let cb = simulate(&generate_systolic(&big, dims).module).unwrap().cycles;
+        let small = SystolicSpec {
+            rows: 2,
+            cols: 2,
+            dataflow: Dataflow::Ws,
+        };
+        let big = SystolicSpec {
+            rows: 8,
+            cols: 8,
+            dataflow: Dataflow::Ws,
+        };
+        let cs = simulate(&generate_systolic(&small, dims).module)
+            .unwrap()
+            .cycles;
+        let cb = simulate(&generate_systolic(&big, dims).module)
+            .unwrap()
+            .cycles;
         assert!(cb < cs, "big {cb} small {cs}");
     }
 }

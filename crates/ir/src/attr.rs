@@ -295,7 +295,9 @@ impl AttrMap {
 
 impl FromIterator<(String, Attr)> for AttrMap {
     fn from_iter<T: IntoIterator<Item = (String, Attr)>>(iter: T) -> Self {
-        AttrMap { entries: iter.into_iter().collect() }
+        AttrMap {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -366,8 +368,7 @@ mod tests {
 
     #[test]
     fn attr_map_collect_and_extend() {
-        let mut m: AttrMap =
-            vec![("x".to_string(), Attr::Int(1))].into_iter().collect();
+        let mut m: AttrMap = vec![("x".to_string(), Attr::Int(1))].into_iter().collect();
         m.extend(vec![("y".to_string(), Attr::Int(2))]);
         assert_eq!(m.int("x"), Some(1));
         assert_eq!(m.int("y"), Some(2));

@@ -35,7 +35,11 @@ impl<'m> OpBuilder<'m> {
     /// Creates a builder inserting at the end of `block`.
     pub fn at_end(module: &'m mut Module, block: BlockId) -> Self {
         let index = module.block(block).ops.len();
-        OpBuilder { module, block, index }
+        OpBuilder {
+            module,
+            block,
+            index,
+        }
     }
 
     /// Creates a builder inserting at position `index` of `block`.
@@ -44,8 +48,15 @@ impl<'m> OpBuilder<'m> {
     ///
     /// Panics if `index` is larger than the number of ops in the block.
     pub fn at(module: &'m mut Module, block: BlockId, index: usize) -> Self {
-        assert!(index <= module.block(block).ops.len(), "insertion index out of range");
-        OpBuilder { module, block, index }
+        assert!(
+            index <= module.block(block).ops.len(),
+            "insertion index out of range"
+        );
+        OpBuilder {
+            module,
+            block,
+            index,
+        }
     }
 
     /// Creates a builder inserting immediately before `op`.
@@ -56,7 +67,11 @@ impl<'m> OpBuilder<'m> {
     pub fn before(module: &'m mut Module, op: OpId) -> Self {
         let block = module.op(op).parent_block.expect("op must be attached");
         let index = module.op_index_in_block(op).unwrap();
-        OpBuilder { module, block, index }
+        OpBuilder {
+            module,
+            block,
+            index,
+        }
     }
 
     /// Creates a builder inserting immediately after `op`.
@@ -67,7 +82,11 @@ impl<'m> OpBuilder<'m> {
     pub fn after(module: &'m mut Module, op: OpId) -> Self {
         let block = module.op(op).parent_block.expect("op must be attached");
         let index = module.op_index_in_block(op).unwrap() + 1;
-        OpBuilder { module, block, index }
+        OpBuilder {
+            module,
+            block,
+            index,
+        }
     }
 
     /// The block currently being inserted into.
@@ -161,7 +180,8 @@ impl OpSpec<'_, '_> {
 
     /// Declares one result of type `ty` with a printer name hint.
     pub fn named_result(mut self, ty: Type, hint: &str) -> Self {
-        self.result_names.push((self.result_types.len(), hint.to_string()));
+        self.result_names
+            .push((self.result_types.len(), hint.to_string()));
         self.result_types.push(ty);
         self
     }
@@ -186,8 +206,18 @@ impl OpSpec<'_, '_> {
 
     /// Creates the op, inserts it at the insertion point, and returns its id.
     pub fn finish(self) -> OpId {
-        let OpSpec { builder, name, operands, result_types, attrs, regions, result_names } = self;
-        let op = builder.module.create_op(&name, operands, result_types, attrs, regions);
+        let OpSpec {
+            builder,
+            name,
+            operands,
+            result_types,
+            attrs,
+            regions,
+            result_names,
+        } = self;
+        let op = builder
+            .module
+            .create_op(&name, operands, result_types, attrs, regions);
         for (idx, hint) in result_names {
             let v = builder.module.result(op, idx);
             builder.module.set_value_name(v, &hint);
@@ -201,9 +231,23 @@ impl OpSpec<'_, '_> {
     ///
     /// Panics if the op does not have exactly one result.
     pub fn finish_value(self) -> ValueId {
-        assert_eq!(self.result_types.len(), 1, "finish_value requires exactly one result");
-        let OpSpec { builder, name, operands, result_types, attrs, regions, result_names } = self;
-        let op = builder.module.create_op(&name, operands, result_types, attrs, regions);
+        assert_eq!(
+            self.result_types.len(),
+            1,
+            "finish_value requires exactly one result"
+        );
+        let OpSpec {
+            builder,
+            name,
+            operands,
+            result_types,
+            attrs,
+            regions,
+            result_names,
+        } = self;
+        let op = builder
+            .module
+            .create_op(&name, operands, result_types, attrs, regions);
         for (idx, hint) in result_names {
             let v = builder.module.result(op, idx);
             builder.module.set_value_name(v, &hint);
@@ -225,8 +269,12 @@ mod tests {
         let mut b = OpBuilder::at_end(&mut m, blk);
         b.op("test.a").finish();
         b.op("test.b").finish();
-        let names: Vec<String> =
-            m.block(blk).ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        let names: Vec<String> = m
+            .block(blk)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
         assert_eq!(names, vec!["test.a", "test.b"]);
     }
 
@@ -243,8 +291,12 @@ mod tests {
             let mut b = OpBuilder::at(&mut m, blk, 1);
             b.op("test.b").finish();
         }
-        let names: Vec<String> =
-            m.block(blk).ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        let names: Vec<String> = m
+            .block(blk)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
         assert_eq!(names, vec!["test.a", "test.b", "test.c"]);
     }
 
@@ -258,8 +310,12 @@ mod tests {
         };
         OpBuilder::before(&mut m, mid).op("test.pre").finish();
         OpBuilder::after(&mut m, mid).op("test.post").finish();
-        let names: Vec<String> =
-            m.block(blk).ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        let names: Vec<String> = m
+            .block(blk)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
         assert_eq!(names, vec!["test.pre", "test.mid", "test.post"]);
     }
 

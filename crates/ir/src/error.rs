@@ -44,7 +44,10 @@ impl IrError {
 
     /// Builds a [`IrError::Pass`] error.
     pub fn pass(pass: impl Into<String>, msg: impl Into<String>) -> Self {
-        IrError::Pass { pass: pass.into(), msg: msg.into() }
+        IrError::Pass {
+            pass: pass.into(),
+            msg: msg.into(),
+        }
     }
 
     /// Builds a [`IrError::Other`] error.
@@ -82,7 +85,12 @@ mod tests {
             "verification failed: bad op"
         );
         assert_eq!(
-            IrError::Parse { line: 3, col: 7, msg: "expected ')'".into() }.to_string(),
+            IrError::Parse {
+                line: 3,
+                col: 7,
+                msg: "expected ')'".into()
+            }
+            .to_string(),
             "parse error at 3:7: expected ')'"
         );
         assert_eq!(

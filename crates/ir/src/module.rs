@@ -29,6 +29,36 @@ pub struct BlockId(pub(crate) u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub(crate) u32);
 
+impl OpId {
+    /// The op's dense arena index (stable for the module's lifetime).
+    /// Lets clients build side tables indexed by op — e.g. the simulation
+    /// engine's pre-decoded opcode table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ValueId {
+    /// The value's dense arena index (stable for the module's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The block's dense arena index (stable for the module's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RegionId {
+    /// The region's dense arena index (stable for the module's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl fmt::Display for OpId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "op{}", self.0)
@@ -165,7 +195,13 @@ impl Default for Module {
 impl Module {
     /// Creates an empty module with a top region containing one empty block.
     pub fn new() -> Self {
-        let mut m = Module { ops: vec![], values: vec![], blocks: vec![], regions: vec![], top: RegionId(0) };
+        let mut m = Module {
+            ops: vec![],
+            values: vec![],
+            blocks: vec![],
+            regions: vec![],
+            top: RegionId(0),
+        };
         let top = m.new_region(None);
         m.new_block(top, vec![]);
         m.top = top;
@@ -187,7 +223,10 @@ impl Module {
     /// Creates a new empty region owned by `parent_op`.
     pub fn new_region(&mut self, parent_op: Option<OpId>) -> RegionId {
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(Region { blocks: vec![], parent_op });
+        self.regions.push(Region {
+            blocks: vec![],
+            parent_op,
+        });
         id
     }
 
@@ -208,7 +247,11 @@ impl Module {
                 v
             })
             .collect();
-        self.blocks.push(Block { args, ops: vec![], parent_region: region });
+        self.blocks.push(Block {
+            args,
+            ops: vec![],
+            parent_region: region,
+        });
         self.regions[region.0 as usize].blocks.push(id);
         id
     }
@@ -261,7 +304,10 @@ impl Module {
     ///
     /// Panics if the op is already attached to a block.
     pub fn append_op(&mut self, block: BlockId, op: OpId) {
-        assert!(self.ops[op.0 as usize].parent_block.is_none(), "op already attached");
+        assert!(
+            self.ops[op.0 as usize].parent_block.is_none(),
+            "op already attached"
+        );
         self.ops[op.0 as usize].parent_block = Some(block);
         self.blocks[block.0 as usize].ops.push(op);
     }
@@ -272,7 +318,10 @@ impl Module {
     ///
     /// Panics if the op is already attached or `index` is out of bounds.
     pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
-        assert!(self.ops[op.0 as usize].parent_block.is_none(), "op already attached");
+        assert!(
+            self.ops[op.0 as usize].parent_block.is_none(),
+            "op already attached"
+        );
         self.ops[op.0 as usize].parent_block = Some(block);
         self.blocks[block.0 as usize].ops.insert(index, op);
     }
@@ -479,19 +528,18 @@ impl Module {
     /// Deep-clones `op` (and its regions) as a new detached op, remapping
     /// operand values through `value_map`. Cloned results/block args are
     /// added to `value_map` so later clones see them.
-    pub fn clone_op(
-        &mut self,
-        op: OpId,
-        value_map: &mut HashMap<ValueId, ValueId>,
-    ) -> OpId {
+    pub fn clone_op(&mut self, op: OpId, value_map: &mut HashMap<ValueId, ValueId>) -> OpId {
         let src = self.ops[op.0 as usize].clone();
         let operands = src
             .operands
             .iter()
             .map(|v| *value_map.get(v).unwrap_or(v))
             .collect();
-        let result_types: Vec<Type> =
-            src.results.iter().map(|&v| self.values[v.0 as usize].ty.clone()).collect();
+        let result_types: Vec<Type> = src
+            .results
+            .iter()
+            .map(|&v| self.values[v.0 as usize].ty.clone())
+            .collect();
         let mut new_regions = vec![];
         for &r in &src.regions {
             let nr = self.new_region(None);
@@ -503,8 +551,10 @@ impl Module {
                     .map(|&v| self.values[v.0 as usize].ty.clone())
                     .collect();
                 let nb = self.new_block(nr, arg_types);
-                let (old_args, new_args) =
-                    (self.blocks[b.0 as usize].args.clone(), self.blocks[nb.0 as usize].args.clone());
+                let (old_args, new_args) = (
+                    self.blocks[b.0 as usize].args.clone(),
+                    self.blocks[nb.0 as usize].args.clone(),
+                );
                 for (o, n) in old_args.iter().zip(new_args.iter()) {
                     value_map.insert(*o, *n);
                 }
@@ -519,7 +569,13 @@ impl Module {
             }
             new_regions.push(nr);
         }
-        let new_op = self.create_op(&src.name, operands, result_types, src.attrs.clone(), new_regions);
+        let new_op = self.create_op(
+            &src.name,
+            operands,
+            result_types,
+            src.attrs.clone(),
+            new_regions,
+        );
         for (o, n) in self.ops[op.0 as usize]
             .results
             .clone()
@@ -638,7 +694,10 @@ mod tests {
         let args = m.block(b).args.clone();
         assert_eq!(args.len(), 2);
         assert_eq!(*m.value_type(args[1]), Type::Signal);
-        assert_eq!(m.value(args[0]).def, ValueDef::BlockArg { block: b, index: 0 });
+        assert_eq!(
+            m.value(args[0]).def,
+            ValueDef::BlockArg { block: b, index: 0 }
+        );
     }
 
     #[test]
@@ -650,9 +709,21 @@ mod tests {
         let va = m.result(a, 0);
         let r = m.new_region(None);
         let ib = m.new_block(r, vec![]);
-        let inner = m.create_op("test.use", vec![va], vec![Type::I32], AttrMap::new(), vec![]);
+        let inner = m.create_op(
+            "test.use",
+            vec![va],
+            vec![Type::I32],
+            AttrMap::new(),
+            vec![],
+        );
         m.append_op(ib, inner);
-        let outer = m.create_op("test.outer", vec![va], vec![Type::I32], AttrMap::new(), vec![r]);
+        let outer = m.create_op(
+            "test.outer",
+            vec![va],
+            vec![Type::I32],
+            AttrMap::new(),
+            vec![r],
+        );
         m.append_op(b, outer);
 
         // Clone with va mapped to a fresh value.

@@ -67,7 +67,11 @@ pub fn parse_module(text: &str) -> IrResult<Module> {
 /// ```
 pub fn parse_type(text: &str) -> IrResult<Type> {
     let t = text.trim();
-    let err = || IrError::Parse { line: 0, col: 0, msg: format!("unknown type '{t}'") };
+    let err = || IrError::Parse {
+        line: 0,
+        col: 0,
+        msg: format!("unknown type '{t}'"),
+    };
     let shaped = |prefix: &str, t: &str| -> Option<IrResult<(Vec<usize>, Type)>> {
         let rest = t.strip_prefix(prefix)?;
         let rest = rest.strip_prefix('<')?;
@@ -185,7 +189,9 @@ struct Scope {
 
 impl Scope {
     fn new() -> Self {
-        Scope { stack: vec![HashMap::new()] }
+        Scope {
+            stack: vec![HashMap::new()],
+        }
     }
     fn push(&mut self) {
         self.stack.push(HashMap::new());
@@ -210,11 +216,20 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { src: text.as_bytes(), pos: 0, line: 1, col: 1 }
+        Parser {
+            src: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> IrError {
-        IrError::Parse { line: self.line, col: self.col, msg: msg.into() }
+        IrError::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -383,9 +398,13 @@ impl<'a> Parser<'a> {
             }
         }
         if is_float {
-            s.parse::<f64>().map(Token::Float).map_err(|e| self.err(format!("bad float: {e}")))
+            s.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| self.err(format!("bad float: {e}")))
         } else {
-            s.parse::<i64>().map(Token::Int).map_err(|e| self.err(format!("bad integer: {e}")))
+            s.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| self.err(format!("bad integer: {e}")))
         }
     }
 
@@ -402,7 +421,9 @@ impl<'a> Parser<'a> {
                     Some(b'"') => s.push('"'),
                     Some(b'\\') => s.push('\\'),
                     other => {
-                        return Err(self.err(format!("bad escape '\\{:?}'", other.map(|c| c as char))))
+                        return Err(
+                            self.err(format!("bad escape '\\{:?}'", other.map(|c| c as char)))
+                        )
                     }
                 },
                 Some(c) => s.push(c as char),
@@ -441,16 +462,15 @@ impl<'a> Parser<'a> {
         if got == want {
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", want.describe(), got.describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                got.describe()
+            )))
         }
     }
 
-    fn parse_op(
-        &mut self,
-        module: &mut Module,
-        block: BlockId,
-        scope: &mut Scope,
-    ) -> IrResult<()> {
+    fn parse_op(&mut self, module: &mut Module, block: BlockId, scope: &mut Scope) -> IrResult<()> {
         // Optional result list.
         let mut result_names: Vec<String> = vec![];
         let save = self.save();
@@ -462,12 +482,17 @@ impl<'a> Parser<'a> {
                     match self.next_token()? {
                         Token::Comma => match self.next_token()? {
                             Token::Percent(n) => result_names.push(n),
-                            t => return Err(self.err(format!("expected value name, found {}", t.describe()))),
+                            t => {
+                                return Err(self
+                                    .err(format!("expected value name, found {}", t.describe())))
+                            }
                         },
                         Token::Equal => break,
                         t => {
                             let _ = save2;
-                            return Err(self.err(format!("expected ',' or '=', found {}", t.describe())));
+                            return Err(
+                                self.err(format!("expected ',' or '=', found {}", t.describe()))
+                            );
                         }
                     }
                 }
@@ -513,7 +538,9 @@ impl<'a> Parser<'a> {
                 match self.next_token()? {
                     Token::Comma => continue,
                     Token::RParen => break,
-                    t => return Err(self.err(format!("expected ',' or ')', found {}", t.describe()))),
+                    t => {
+                        return Err(self.err(format!("expected ',' or ')', found {}", t.describe())))
+                    }
                 }
             }
         } else {
@@ -529,7 +556,11 @@ impl<'a> Parser<'a> {
                     Token::RBrace => break,
                     Token::Ident(k) => k,
                     Token::Str(k) => k,
-                    t => return Err(self.err(format!("expected attribute name, found {}", t.describe()))),
+                    t => {
+                        return Err(
+                            self.err(format!("expected attribute name, found {}", t.describe()))
+                        )
+                    }
                 };
                 self.expect(Token::Equal)?;
                 let value = self.parse_attr_value()?;
@@ -537,7 +568,11 @@ impl<'a> Parser<'a> {
                 match self.next_token()? {
                     Token::Comma => continue,
                     Token::RBrace => break,
-                    t => return Err(self.err(format!("expected ',' or '}}', found {}", t.describe()))),
+                    t => {
+                        return Err(
+                            self.err(format!("expected ',' or '}}', found {}", t.describe()))
+                        )
+                    }
                 }
             }
         } else {
@@ -651,8 +686,10 @@ impl<'a> Parser<'a> {
                                     arg_types.push(parse_type(&t)?);
                                 }
                                 t => {
-                                    return Err(self
-                                        .err(format!("expected block argument, found {}", t.describe())))
+                                    return Err(self.err(format!(
+                                        "expected block argument, found {}",
+                                        t.describe()
+                                    )))
                                 }
                             }
                         }
@@ -738,15 +775,22 @@ impl<'a> Parser<'a> {
                         Token::RBracket => break,
                         t => {
                             let _ = save;
-                            return Err(self.err(format!("expected ',' or ']', found {}", t.describe())));
+                            return Err(
+                                self.err(format!("expected ',' or ']', found {}", t.describe()))
+                            );
                         }
                     }
                 }
                 if !items.is_empty() && items.iter().all(|a| matches!(a, Attr::Int(_))) {
-                    Ok(Attr::IntArray(items.iter().map(|a| a.as_int().unwrap()).collect()))
+                    Ok(Attr::IntArray(
+                        items.iter().map(|a| a.as_int().unwrap()).collect(),
+                    ))
                 } else if !items.is_empty() && items.iter().all(|a| matches!(a, Attr::Str(_))) {
                     Ok(Attr::StrArray(
-                        items.iter().map(|a| a.as_str().unwrap().to_string()).collect(),
+                        items
+                            .iter()
+                            .map(|a| a.as_str().unwrap().to_string())
+                            .collect(),
                     ))
                 } else {
                     Ok(Attr::Array(items))
@@ -784,9 +828,18 @@ mod tests {
     fn parse_types() {
         assert_eq!(parse_type("i32").unwrap(), Type::I32);
         assert_eq!(parse_type(" f64 ").unwrap(), Type::F64);
-        assert_eq!(parse_type("memref<4x4xf32>").unwrap(), Type::memref(vec![4, 4], Type::F32));
-        assert_eq!(parse_type("tensor<8xindex>").unwrap(), Type::tensor(vec![8], Type::Index));
-        assert_eq!(parse_type("tensor<i64>").unwrap(), Type::tensor(vec![], Type::I64));
+        assert_eq!(
+            parse_type("memref<4x4xf32>").unwrap(),
+            Type::memref(vec![4, 4], Type::F32)
+        );
+        assert_eq!(
+            parse_type("tensor<8xindex>").unwrap(),
+            Type::tensor(vec![8], Type::Index)
+        );
+        assert_eq!(
+            parse_type("tensor<i64>").unwrap(),
+            Type::tensor(vec![], Type::I64)
+        );
         assert_eq!(
             parse_type("!equeue.buffer<64xi32>").unwrap(),
             Type::buffer(vec![64], Type::I32)
@@ -842,9 +895,7 @@ mod tests {
                     \x20\x20\"equeue.return\"() : () -> ()\n\
                     }) : (!equeue.signal) -> !equeue.signal\n";
         // %done_0 is undefined; build a defining op first.
-        let full = format!(
-            "%done_0 = \"equeue.control_start\"() : () -> !equeue.signal\n{text}"
-        );
+        let full = format!("%done_0 = \"equeue.control_start\"() : () -> !equeue.signal\n{text}");
         let m = parse_module(&full).unwrap();
         let launch = m.find_first("equeue.launch").unwrap();
         assert_eq!(m.op(launch).regions.len(), 1);
@@ -874,7 +925,9 @@ mod tests {
     fn type_mismatch_is_error() {
         let text = "%a = \"test.src\"() : () -> i32\n\"test.sink\"(%a) : (f32) -> ()\n";
         let e = parse_module(text).unwrap_err();
-        assert!(e.to_string().contains("has type i32 but signature says f32"));
+        assert!(e
+            .to_string()
+            .contains("has type i32 but signature says f32"));
     }
 
     #[test]

@@ -87,7 +87,14 @@ pub struct PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PassManager")
-            .field("passes", &self.passes.iter().map(|p| p.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "passes",
+                &self
+                    .passes
+                    .iter()
+                    .map(|p| p.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
             .field("verify_each", &self.verify_each)
             .finish()
     }
@@ -97,7 +104,11 @@ impl PassManager {
     /// Creates a pass manager that verifies the module after every pass
     /// using `registry`.
     pub fn new(registry: DialectRegistry) -> Self {
-        PassManager { passes: vec![], registry, verify_each: true }
+        PassManager {
+            passes: vec![],
+            registry,
+            verify_each: true,
+        }
     }
 
     /// Disables or enables per-pass verification (enabled by default).
@@ -187,7 +198,13 @@ mod tests {
         fn run(&mut self, m: &mut Module) -> IrResult<()> {
             // Create an op that uses a value defined *after* it.
             let blk = m.top_block();
-            let def = m.create_op("t.def", vec![], vec![crate::types::Type::I32], AttrMap::new(), vec![]);
+            let def = m.create_op(
+                "t.def",
+                vec![],
+                vec![crate::types::Type::I32],
+                AttrMap::new(),
+                vec![],
+            );
             let v = m.result(def, 0);
             let user = m.create_op("t.use", vec![v], vec![], AttrMap::new(), vec![]);
             m.append_op(blk, user);

@@ -55,7 +55,12 @@ struct Printer<'m> {
 
 impl<'m> Printer<'m> {
     fn new(module: &'m Module) -> Self {
-        Printer { module, names: HashMap::new(), taken: HashSet::new(), next_id: 0 }
+        Printer {
+            module,
+            names: HashMap::new(),
+            taken: HashSet::new(),
+            next_id: 0,
+        }
     }
 
     fn print(mut self) -> String {
@@ -112,14 +117,22 @@ impl<'m> Printer<'m> {
         let data = self.module.op(op);
         out.push_str(&pad);
         if !data.results.is_empty() {
-            let names: Vec<String> =
-                data.results.clone().iter().map(|&r| self.name_of(r)).collect();
+            let names: Vec<String> = data
+                .results
+                .clone()
+                .iter()
+                .map(|&r| self.name_of(r))
+                .collect();
             let _ = write!(out, "%{}", names.join(", %"));
             out.push_str(" = ");
         }
         let _ = write!(out, "{:?}(", data.name);
-        let operand_names: Vec<String> =
-            data.operands.clone().iter().map(|&v| self.name_of(v)).collect();
+        let operand_names: Vec<String> = data
+            .operands
+            .clone()
+            .iter()
+            .map(|&v| self.name_of(v))
+            .collect();
         let _ = write!(out, "%{}", operand_names.join(", %"));
         if operand_names.is_empty() {
             // Undo the stray "%" written for the empty case.
@@ -221,8 +234,14 @@ mod tests {
         let mut m = Module::new();
         let blk = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, blk);
-        b.op("arith.constant").attr("value", 4i64).result(Type::I32).finish();
-        assert_eq!(print_module(&m), "%0 = \"arith.constant\"() {value = 4} : () -> i32\n");
+        b.op("arith.constant")
+            .attr("value", 4i64)
+            .result(Type::I32)
+            .finish();
+        assert_eq!(
+            print_module(&m),
+            "%0 = \"arith.constant\"() {value = 4} : () -> i32\n"
+        );
     }
 
     #[test]
@@ -230,7 +249,10 @@ mod tests {
         let mut m = Module::new();
         let blk = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, blk);
-        let c = b.op("test.src").results(vec![Type::I32, Type::I32]).finish();
+        let c = b
+            .op("test.src")
+            .results(vec![Type::I32, Type::I32])
+            .finish();
         let (v0, v1) = (b.module().result(c, 0), b.module().result(c, 1));
         b.op("test.sink").operands(vec![v0, v1]).finish();
         let text = print_module(&m);
@@ -263,8 +285,13 @@ mod tests {
             let mut b = OpBuilder::at_end(&mut m, inner);
             b.op("equeue.return").finish();
         }
-        let launch =
-            m.create_op("equeue.launch", vec![], vec![Type::Signal], AttrMap::new(), vec![r]);
+        let launch = m.create_op(
+            "equeue.launch",
+            vec![],
+            vec![Type::Signal],
+            AttrMap::new(),
+            vec![r],
+        );
         m.append_op(blk, launch);
         let text = print_module(&m);
         assert!(text.contains("\"equeue.launch\"() ({"));

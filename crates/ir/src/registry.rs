@@ -67,7 +67,11 @@ impl DialectRegistry {
 
     /// Convenience: registers a name with traits and an optional verifier.
     pub fn register_op(&mut self, name: &str, traits: OpTraits, verify: Option<VerifyFn>) {
-        self.register(OpInfo { name: name.to_string(), traits, verify });
+        self.register(OpInfo {
+            name: name.to_string(),
+            traits,
+            verify,
+        });
     }
 
     /// Metadata for `name`, if registered.
@@ -121,7 +125,10 @@ mod tests {
         assert!(reg.is_empty());
         reg.register_op(
             "t.a",
-            OpTraits { is_terminator: true, ..Default::default() },
+            OpTraits {
+                is_terminator: true,
+                ..Default::default()
+            },
             None,
         );
         assert_eq!(reg.len(), 1);

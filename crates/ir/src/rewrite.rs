@@ -95,7 +95,10 @@ pub fn inline_region(
 /// Panics if `anchor` is detached.
 pub fn move_before(module: &mut Module, op: OpId, anchor: OpId) {
     module.detach_op(op);
-    let block = module.op(anchor).parent_block.expect("anchor must be attached");
+    let block = module
+        .op(anchor)
+        .parent_block
+        .expect("anchor must be attached");
     let index = module.op_index_in_block(anchor).unwrap();
     module.insert_op(block, index, op);
 }
@@ -107,7 +110,10 @@ pub fn move_before(module: &mut Module, op: OpId, anchor: OpId) {
 /// Panics if `anchor` is detached.
 pub fn move_after(module: &mut Module, op: OpId, anchor: OpId) {
     module.detach_op(op);
-    let block = module.op(anchor).parent_block.expect("anchor must be attached");
+    let block = module
+        .op(anchor)
+        .parent_block
+        .expect("anchor must be attached");
     let index = module.op_index_in_block(anchor).unwrap() + 1;
     module.insert_op(block, index, op);
 }
@@ -135,7 +141,14 @@ mod tests {
 
     fn pure_registry() -> DialectRegistry {
         let mut reg = DialectRegistry::new();
-        reg.register_op("t.pure", OpTraits { is_pure: true, ..Default::default() }, None);
+        reg.register_op(
+            "t.pure",
+            OpTraits {
+                is_pure: true,
+                ..Default::default()
+            },
+            None,
+        );
         reg
     }
 
@@ -202,12 +215,20 @@ mod tests {
             (a, c, b2)
         };
         move_before(&mut m, b2, c2);
-        let names: Vec<String> =
-            m.block(blk).ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        let names: Vec<String> = m
+            .block(blk)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
         assert_eq!(names, vec!["t.a", "t.b", "t.c"]);
         move_after(&mut m, a, c2);
-        let names: Vec<String> =
-            m.block(blk).ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        let names: Vec<String> = m
+            .block(blk)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
         assert_eq!(names, vec!["t.b", "t.c", "t.a"]);
     }
 
@@ -222,10 +243,18 @@ mod tests {
             b.op("t.c").finish();
         }
         let (_r, tail) = split_block(&mut m, blk, 1);
-        let head: Vec<String> =
-            m.block(blk).ops.iter().map(|&o| m.op(o).name.clone()).collect();
-        let tail_names: Vec<String> =
-            m.block(tail).ops.iter().map(|&o| m.op(o).name.clone()).collect();
+        let head: Vec<String> = m
+            .block(blk)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
+        let tail_names: Vec<String> = m
+            .block(tail)
+            .ops
+            .iter()
+            .map(|&o| m.op(o).name.clone())
+            .collect();
         assert_eq!(head, vec!["t.a"]);
         assert_eq!(tail_names, vec!["t.b", "t.c"]);
     }

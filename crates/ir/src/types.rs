@@ -92,17 +92,26 @@ impl Type {
     /// assert_eq!(Type::memref(vec![2], Type::I32).to_string(), "memref<2xi32>");
     /// ```
     pub fn memref(shape: Vec<usize>, elem: Type) -> Type {
-        Type::MemRef { shape, elem: Box::new(elem) }
+        Type::MemRef {
+            shape,
+            elem: Box::new(elem),
+        }
     }
 
     /// Builds a `tensor` type with the given shape and element type.
     pub fn tensor(shape: Vec<usize>, elem: Type) -> Type {
-        Type::Tensor { shape, elem: Box::new(elem) }
+        Type::Tensor {
+            shape,
+            elem: Box::new(elem),
+        }
     }
 
     /// Builds an `!equeue.buffer` type with the given shape and element type.
     pub fn buffer(shape: Vec<usize>, elem: Type) -> Type {
-        Type::Buffer { shape, elem: Box::new(elem) }
+        Type::Buffer {
+            shape,
+            elem: Box::new(elem),
+        }
     }
 
     /// Returns `true` for integer types (including `i1` and `index`).
@@ -120,7 +129,10 @@ impl Type {
 
     /// Returns `true` for shaped types (`memref`, `tensor`, `buffer`).
     pub fn is_shaped(&self) -> bool {
-        matches!(self, Type::MemRef { .. } | Type::Tensor { .. } | Type::Buffer { .. })
+        matches!(
+            self,
+            Type::MemRef { .. } | Type::Tensor { .. } | Type::Buffer { .. }
+        )
     }
 
     /// Returns `true` for EQueue hardware-entity types.
@@ -131,9 +143,9 @@ impl Type {
     /// The shape of a shaped type, or `None` otherwise.
     pub fn shape(&self) -> Option<&[usize]> {
         match self {
-            Type::MemRef { shape, .. } | Type::Tensor { shape, .. } | Type::Buffer { shape, .. } => {
-                Some(shape)
-            }
+            Type::MemRef { shape, .. }
+            | Type::Tensor { shape, .. }
+            | Type::Buffer { shape, .. } => Some(shape),
             _ => None,
         }
     }
@@ -235,7 +247,10 @@ mod tests {
 
     #[test]
     fn shaped_display() {
-        assert_eq!(Type::memref(vec![4, 4], Type::F32).to_string(), "memref<4x4xf32>");
+        assert_eq!(
+            Type::memref(vec![4, 4], Type::F32).to_string(),
+            "memref<4x4xf32>"
+        );
         assert_eq!(Type::tensor(vec![], Type::I64).to_string(), "tensor<i64>");
         assert_eq!(
             Type::buffer(vec![64], Type::I32).to_string(),

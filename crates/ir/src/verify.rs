@@ -168,7 +168,10 @@ mod tests {
         m.erase_op(a);
         let e = verify_module(&m, &DialectRegistry::new()).unwrap_err();
         let msg = e.to_string();
-        assert!(msg.contains("not visible") || msg.contains("erased"), "{msg}");
+        assert!(
+            msg.contains("not visible") || msg.contains("erased"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -221,7 +224,14 @@ mod tests {
     #[test]
     fn terminator_must_be_last() {
         let mut reg = DialectRegistry::new();
-        reg.register_op("t.ret", OpTraits { is_terminator: true, ..Default::default() }, None);
+        reg.register_op(
+            "t.ret",
+            OpTraits {
+                is_terminator: true,
+                ..Default::default()
+            },
+            None,
+        );
         let mut m = Module::new();
         let blk = m.top_block();
         let ret = m.create_op("t.ret", vec![], vec![], AttrMap::new(), vec![]);

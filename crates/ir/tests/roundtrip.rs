@@ -1,8 +1,54 @@
 //! Property tests: printing a module and parsing it back must reproduce the
 //! exact same text (a fixed point after one round).
+//!
+//! Uses a deterministic xorshift generator instead of `proptest` — the
+//! workspace carries no external dependencies. Plans are derived from a
+//! seeded stream, so every failure is reproducible; the plan is printed on
+//! assertion failure.
 
 use equeue_ir::{parse_module, print_module, Attr, AttrMap, Module, OpBuilder, Type, ValueId};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn maybe<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// A random lowercase identifier of `1..=max_len` chars.
+    fn ident(&mut self, max_len: u64) -> String {
+        let len = self.range(1, max_len + 1) as usize;
+        (0..len)
+            .map(|_| char::from(b'a' + (self.range(0, 26) as u8)))
+            .collect()
+    }
+}
 
 /// Plan for one generated op.
 #[derive(Debug, Clone)]
@@ -37,36 +83,30 @@ const REGION_NAMES: &[&str] = &["test.inner", "equeue.return", "arith.addi"];
 
 const TYPES: &[Type] = &[Type::I32, Type::I64, Type::F32, Type::Index, Type::Signal];
 
-fn op_plan() -> impl Strategy<Value = OpPlan> {
-    (
-        0..NAMES.len(),
-        0usize..3,
-        any::<bool>(),
-        proptest::option::of(any::<i64>()),
-        proptest::option::of("[a-z]{1,6}"),
-        proptest::option::of(proptest::collection::vec(any::<i64>(), 1..4)),
-        proptest::option::of(any::<bool>()),
-        proptest::collection::vec(
-            (0..REGION_NAMES.len(), any::<bool>(), any::<bool>()).prop_map(
-                |(name, use_outer, use_arg)| RegionOpPlan { name, use_outer, use_arg },
-            ),
-            0..3,
-        ),
-        proptest::option::of("[a-z_][a-z0-9_]{0,8}"),
-    )
-        .prop_map(
-            |(name, n_results, use_prev, attr_int, attr_str, attr_arr, attr_bool, region_body, hint)| OpPlan {
-                name,
-                n_results,
-                use_prev,
-                attr_int,
-                attr_str,
-                attr_arr,
-                attr_bool,
-                region_body,
-                hint,
-            },
-        )
+fn op_plan(rng: &mut Rng) -> OpPlan {
+    OpPlan {
+        name: rng.range(0, NAMES.len() as u64) as usize,
+        n_results: rng.range(0, 3) as usize,
+        use_prev: rng.bool(),
+        attr_int: rng.maybe(|r| r.next() as i64),
+        attr_str: rng.maybe(|r| r.ident(6)),
+        attr_arr: rng.maybe(|r| {
+            let len = r.range(1, 4) as usize;
+            (0..len).map(|_| r.next() as i64).collect()
+        }),
+        attr_bool: rng.maybe(Rng::bool),
+        region_body: {
+            let len = rng.range(0, 3) as usize;
+            (0..len)
+                .map(|_| RegionOpPlan {
+                    name: rng.range(0, REGION_NAMES.len() as u64) as usize,
+                    use_outer: rng.bool(),
+                    use_arg: rng.bool(),
+                })
+                .collect()
+        },
+        hint: rng.maybe(|r| r.ident(8)),
+    }
 }
 
 fn build_module(plans: &[OpPlan]) -> Module {
@@ -118,8 +158,9 @@ fn build_module(plans: &[OpPlan]) -> Module {
         } else {
             vec![]
         };
-        let result_types: Vec<Type> =
-            (0..p.n_results).map(|k| TYPES[(i + k) % TYPES.len()].clone()).collect();
+        let result_types: Vec<Type> = (0..p.n_results)
+            .map(|k| TYPES[(i + k) % TYPES.len()].clone())
+            .collect();
         let op = m.create_op(NAMES[p.name], operands, result_types, attrs, regions);
         m.append_op(top, op);
         for k in 0..p.n_results {
@@ -135,27 +176,41 @@ fn build_module(plans: &[OpPlan]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn print_parse_print_is_identity(plans in proptest::collection::vec(op_plan(), 0..12)) {
+#[test]
+fn print_parse_print_is_identity() {
+    let mut rng = Rng::new(0x101D711);
+    for _ in 0..128 {
+        let n = rng.range(0, 12) as usize;
+        let plans: Vec<OpPlan> = (0..n).map(|_| op_plan(&mut rng)).collect();
         let m = build_module(&plans);
         let text = print_module(&m);
         let reparsed = parse_module(&text)
             .unwrap_or_else(|e| panic!("failed to reparse:\n{text}\nerror: {e}"));
         let text2 = print_module(&reparsed);
-        prop_assert_eq!(text, text2);
+        assert_eq!(text, text2, "plans = {plans:?}");
     }
+}
 
-    #[test]
-    fn parse_rejects_random_garbage_gracefully(s in "[ -~]{0,60}") {
-        // Must never panic; errors are fine.
+#[test]
+fn parse_rejects_random_garbage_gracefully() {
+    let mut rng = Rng::new(0x6A2BA6E);
+    for _ in 0..128 {
+        let len = rng.range(0, 60) as usize;
+        // Printable ASCII noise; must never panic (errors are fine).
+        let s: String = (0..len)
+            .map(|_| char::from(rng.range(b' ' as u64, b'~' as u64 + 1) as u8))
+            .collect();
         let _ = parse_module(&s);
     }
+}
 
-    #[test]
-    fn type_display_parses_back(idx in 0..TYPES.len(), dims in proptest::collection::vec(1usize..64, 0..3)) {
+#[test]
+fn type_display_parses_back() {
+    let mut rng = Rng::new(0x7F9E5);
+    for _ in 0..128 {
+        let idx = rng.range(0, TYPES.len() as u64) as usize;
+        let ndims = rng.range(0, 3) as usize;
+        let dims: Vec<usize> = (0..ndims).map(|_| rng.range(1, 64) as usize).collect();
         let t = if dims.is_empty() {
             TYPES[idx].clone()
         } else {
@@ -163,6 +218,6 @@ proptest! {
         };
         let text = t.to_string();
         let parsed = equeue_ir::parse_type(&text).unwrap();
-        prop_assert_eq!(t, parsed);
+        assert_eq!(t, parsed);
     }
 }

@@ -73,7 +73,7 @@ impl Pass for AllocateMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use equeue_dialect::{standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder, kinds};
+    use equeue_dialect::{kinds, standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder};
     use equeue_ir::verify_module;
 
     #[test]
@@ -93,7 +93,10 @@ mod tests {
         assert_eq!(m.find_all("equeue.alloc").len(), 1);
         assert_eq!(m.find_all("equeue.dealloc").len(), 1);
         let load = m.find_first("affine.load").unwrap();
-        assert!(matches!(m.value_type(m.op(load).operands[0]), Type::Buffer { .. }));
+        assert!(matches!(
+            m.value_type(m.op(load).operands[0]),
+            Type::Buffer { .. }
+        ));
         verify_module(&m, &standard_registry()).unwrap();
     }
 

@@ -104,12 +104,20 @@ fn cse_key(module: &Module, op: OpId) -> Option<String> {
     if !data.regions.is_empty() {
         return None;
     }
-    let attrs: Vec<String> =
-        data.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let attrs: Vec<String> = data.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
     let operands: Vec<String> = data.operands.iter().map(|v| format!("{v:?}")).collect();
-    let types: Vec<String> =
-        data.results.iter().map(|&r| module.value_type(r).to_string()).collect();
-    Some(format!("{}|{}|{}|{}", data.name, operands.join(","), attrs.join(","), types.join(",")))
+    let types: Vec<String> = data
+        .results
+        .iter()
+        .map(|&r| module.value_type(r).to_string())
+        .collect();
+    Some(format!(
+        "{}|{}|{}|{}",
+        data.name,
+        operands.join(","),
+        attrs.join(","),
+        types.join(",")
+    ))
 }
 
 /// Eliminates duplicate pure ops within each block.
@@ -129,7 +137,9 @@ fn cse(module: &mut Module) {
             if module.op(op).erased || !registry.traits(&module.op(op).name).is_pure {
                 continue;
             }
-            let Some(key) = cse_key(module, op) else { continue };
+            let Some(key) = cse_key(module, op) else {
+                continue;
+            };
             match seen.get(&key) {
                 Some(&prev) => {
                     let results = module.op(op).results.clone();
@@ -151,8 +161,8 @@ fn cse(module: &mut Module) {
 mod tests {
     use super::*;
     use equeue_dialect::ArithBuilder;
-    use equeue_ir::Type;
     use equeue_ir::verify_module;
+    use equeue_ir::Type;
 
     #[test]
     fn folds_constant_chains() {

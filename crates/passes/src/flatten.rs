@@ -94,8 +94,14 @@ impl FlattenConvLoops {
                 .map(|v| v as usize)
                 .ok_or_else(|| IrError::pass("flatten-conv-loops", format!("missing '{k}'")))
         };
-        let (n, eh, ew, c, fh, fw) =
-            (geti("n")?, geti("eh")?, geti("ew")?, geti("c")?, geti("fh")?, geti("fw")?);
+        let (n, eh, ew, c, fh, fw) = (
+            geti("n")?,
+            geti("eh")?,
+            geti("ew")?,
+            geti("c")?,
+            geti("fh")?,
+            geti("fw")?,
+        );
 
         // Recover the three buffers from the innermost loads/stores.
         let mut loads: Vec<OpId> = vec![];
@@ -222,7 +228,10 @@ mod tests {
         ConvertLinalgToAffineLoops.run(&mut m).unwrap();
         FlattenConvLoops::new(Dataflow::Ws).run(&mut m).unwrap();
         let fors = m.find_all("affine.for");
-        let uppers: Vec<i64> = fors.iter().map(|&f| m.op(f).attrs.int("upper").unwrap()).collect();
+        let uppers: Vec<i64> = fors
+            .iter()
+            .map(|&f| m.op(f).attrs.int("upper").unwrap())
+            .collect();
         // WS order: K, N, E.
         assert_eq!(uppers, vec![18, 4, 16]);
     }

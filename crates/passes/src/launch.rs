@@ -60,7 +60,10 @@ impl Pass for WrapInLaunch {
         let Some(first) = first else {
             return Ok(()); // nothing to wrap
         };
-        let last = ops.iter().rposition(|&o| !stays_outside(&module.op(o).name)).unwrap();
+        let last = ops
+            .iter()
+            .rposition(|&o| !stays_outside(&module.op(o).name))
+            .unwrap();
         let to_move: Vec<OpId> = ops[first..=last].to_vec();
 
         // Values defined in the moved range must not be used after it.
@@ -95,7 +98,10 @@ impl Pass for WrapInLaunch {
             ib.op("equeue.return").finish();
         }
         let mut b = OpBuilder::at(module, top, insert_at);
-        let start = b.op("equeue.control_start").result(Type::Signal).finish_value();
+        let start = b
+            .op("equeue.control_start")
+            .result(Type::Signal)
+            .finish_value();
         let launch = b
             .op("equeue.launch")
             .operand(start)
@@ -113,7 +119,9 @@ impl Pass for WrapInLaunch {
 mod tests {
     use super::*;
     use equeue_core::simulate;
-    use equeue_dialect::{standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder, LinalgBuilder, kinds};
+    use equeue_dialect::{
+        kinds, standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder, LinalgBuilder,
+    };
     use equeue_ir::verify_module;
 
     #[test]
@@ -158,8 +166,8 @@ mod tests {
         let kernel = b.create_proc(kinds::ARM_R5);
         let x = b.const_int(1, Type::I32);
         let y = b.addi(x, x); // computational
-        // A later *computational* op uses y — fine, it moves too. But a
-        // trailing await-like op that cannot move must not use y. Fake one:
+                              // A later *computational* op uses y — fine, it moves too. But a
+                              // trailing await-like op that cannot move must not use y. Fake one:
         let (_, body, _) = b.affine_for(0, 1, 1);
         {
             let mut ib = OpBuilder::at_end(b.module_mut(), body);

@@ -62,7 +62,10 @@ fn lower_conv2d(module: &mut Module, op: OpId) -> IrResult<()> {
     let mut b = OpBuilder::before(module, op);
     // for n / ey / ex / c / ky / kx
     let (for_n, body_n, iv_n) = b.affine_for(0, dims.n as i64, 1);
-    b.module_mut().op_mut(for_n).attrs.set("conv_nest", equeue_ir::Attr::Unit);
+    b.module_mut()
+        .op_mut(for_n)
+        .attrs
+        .set("conv_nest", equeue_ir::Attr::Unit);
     for (key, val) in [
         ("n", dims.n),
         ("eh", dims.eh()),
@@ -111,9 +114,8 @@ fn lower_matmul(module: &mut Module, op: OpId) -> IrResult<()> {
         let o = module.op(op).operands.clone();
         (o[0], o[1], o[2])
     };
-    let shape = |m: &Module, v: ValueId| -> Vec<usize> {
-        m.value_type(v).shape().unwrap_or(&[]).to_vec()
-    };
+    let shape =
+        |m: &Module, v: ValueId| -> Vec<usize> { m.value_type(v).shape().unwrap_or(&[]).to_vec() };
     let (ms, ks) = {
         let s = shape(module, a);
         (s[0] as i64, s[1] as i64)

@@ -37,7 +37,10 @@ impl Pass for InsertMemcpy {
             .ok_or_else(|| IrError::pass("mem-copy", "no equeue.launch to rechain"))?;
         let (src, dst, dma) = (self.src, self.dst, self.dma);
         let mut b = OpBuilder::before(module, launch);
-        let start = b.op("equeue.control_start").result(Type::Signal).finish_value();
+        let start = b
+            .op("equeue.control_start")
+            .result(Type::Signal)
+            .finish_value();
         let done = b
             .op("equeue.memcpy")
             .attr("segments", vec![1, 1, 1, 1, 0])
@@ -66,10 +69,17 @@ impl Pass for MemcpyToLaunch {
             let buf_ty = module.value_type(view.src).clone();
             let elem = buf_ty.elem().cloned().unwrap_or(Type::Any);
             let n = buf_ty.num_elements().unwrap_or(1);
-            let data_ty = if n <= 1 { elem } else { Type::tensor(buf_ty.shape().unwrap().to_vec(), elem) };
+            let data_ty = if n <= 1 {
+                elem
+            } else {
+                Type::tensor(buf_ty.shape().unwrap().to_vec(), elem)
+            };
 
             let region = module.new_region(None);
-            let body = module.new_block(region, vec![buf_ty.clone(), module.value_type(view.dst).clone()]);
+            let body = module.new_block(
+                region,
+                vec![buf_ty.clone(), module.value_type(view.dst).clone()],
+            );
             let (arg_src, arg_dst) = {
                 let args = &module.block(body).args;
                 (args[0], args[1])
@@ -166,8 +176,11 @@ impl Pass for MergeMemcpyLaunch {
             let buf_ty = module.value_type(view.src).clone();
             let elem = buf_ty.elem().cloned().unwrap_or(Type::Any);
             let n = buf_ty.num_elements().unwrap_or(1);
-            let data_ty =
-                if n <= 1 { elem } else { Type::tensor(buf_ty.shape().unwrap().to_vec(), elem) };
+            let data_ty = if n <= 1 {
+                elem
+            } else {
+                Type::tensor(buf_ty.shape().unwrap().to_vec(), elem)
+            };
             {
                 let mut ib = OpBuilder::at(module, body, 0);
                 let data = ib
@@ -197,7 +210,7 @@ impl Pass for MergeMemcpyLaunch {
 mod tests {
     use super::*;
     use equeue_core::simulate;
-    use equeue_dialect::{standard_registry, EqueueBuilder, kinds};
+    use equeue_dialect::{kinds, standard_registry, EqueueBuilder};
     use equeue_ir::verify_module;
 
     fn base_module() -> (Module, ValueId, ValueId, ValueId, ValueId) {

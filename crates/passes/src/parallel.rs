@@ -80,7 +80,10 @@ impl ParallelToEqueue {
         let parent = module.op(par).parent_block.unwrap();
         let at = module.op_index_in_block(par).unwrap();
         let mut b = OpBuilder::at(module, parent, at);
-        let start = b.op("equeue.control_start").result(Type::Signal).finish_value();
+        let start = b
+            .op("equeue.control_start")
+            .result(Type::Signal)
+            .finish_value();
 
         let mut dones: Vec<ValueId> = vec![];
         for (i, point) in points.iter().enumerate() {
@@ -191,7 +194,7 @@ impl Pass for LowerExtraction {
 mod tests {
     use super::*;
     use equeue_core::simulate;
-    use equeue_dialect::{standard_registry, AffineBuilder, EqueueBuilder, kinds};
+    use equeue_dialect::{kinds, standard_registry, AffineBuilder, EqueueBuilder};
     use equeue_ir::verify_module;
 
     #[test]

@@ -26,7 +26,12 @@ impl Pass for EqueueReadWrite {
             let old_result = module.result(op, 0);
             let mut b = OpBuilder::before(module, op);
             let n_idx = indices.len() as i64;
-            let elem = b.module().value_type(target).elem().cloned().unwrap_or(Type::Any);
+            let elem = b
+                .module()
+                .value_type(target)
+                .elem()
+                .cloned()
+                .unwrap_or(Type::Any);
             let new = b
                 .op("equeue.read")
                 .attr("segments", vec![1, n_idx, 0])
@@ -62,7 +67,7 @@ impl Pass for EqueueReadWrite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use equeue_dialect::{standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder, kinds};
+    use equeue_dialect::{kinds, standard_registry, AffineBuilder, ArithBuilder, EqueueBuilder};
     use equeue_ir::verify_module;
 
     #[test]

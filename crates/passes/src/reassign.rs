@@ -36,7 +36,7 @@ impl Pass for ReassignBuffer {
 mod tests {
     use super::*;
     use equeue_core::simulate;
-    use equeue_dialect::{standard_registry, EqueueBuilder, kinds};
+    use equeue_dialect::{kinds, standard_registry, EqueueBuilder};
     use equeue_ir::{verify_module, OpBuilder, Type};
 
     #[test]

@@ -46,13 +46,19 @@ impl Pass for SplitLaunch {
         // Values defined in the head and used in the tail must thread
         // through: they become extra results of launch 1 and captures of
         // launch 2.
-        let head_results: Vec<ValueId> =
-            head_ops.iter().flat_map(|&o| module.op(o).results.clone()).collect();
+        let head_results: Vec<ValueId> = head_ops
+            .iter()
+            .flat_map(|&o| module.op(o).results.clone())
+            .collect();
         let mut threaded: Vec<ValueId> = vec![];
         for &t in &tail_ops {
             let mut nested = vec![t];
             nested.extend(
-                module.op(t).regions.iter().flat_map(|&r| module.region_ops(r)),
+                module
+                    .op(t)
+                    .regions
+                    .iter()
+                    .flat_map(|&r| module.region_ops(r)),
             );
             for op in nested {
                 for v in &module.op(op).operands {
@@ -66,13 +72,18 @@ impl Pass for SplitLaunch {
         // Rebuild the head terminator: return old results + threaded values.
         let old_ret = *body_ops.last().unwrap();
         let is_ret = module.op(old_ret).name == "equeue.return";
-        let old_ret_operands =
-            if is_ret { module.op(old_ret).operands.clone() } else { vec![] };
+        let old_ret_operands = if is_ret {
+            module.op(old_ret).operands.clone()
+        } else {
+            vec![]
+        };
 
         // Detach tail ops into a fresh region.
         let region2 = module.new_region(None);
-        let arg_types: Vec<Type> =
-            threaded.iter().map(|&v| module.value_type(v).clone()).collect();
+        let arg_types: Vec<Type> = threaded
+            .iter()
+            .map(|&v| module.value_type(v).clone())
+            .collect();
         let body2 = module.new_block(region2, arg_types);
         for &op in &tail_ops {
             module.detach_op(op);
@@ -80,8 +91,11 @@ impl Pass for SplitLaunch {
         }
         // Remap threaded values to block args inside the tail.
         let args2 = module.block(body2).args.clone();
-        let remap: HashMap<ValueId, ValueId> =
-            threaded.iter().copied().zip(args2.iter().copied()).collect();
+        let remap: HashMap<ValueId, ValueId> = threaded
+            .iter()
+            .copied()
+            .zip(args2.iter().copied())
+            .collect();
         for op in module.region_ops(region2) {
             let operands = module.op(op).operands.clone();
             for (i, v) in operands.iter().enumerate() {
@@ -94,15 +108,20 @@ impl Pass for SplitLaunch {
         // Head terminator: return threaded values.
         {
             let mut hb = OpBuilder::at_end(module, body);
-            hb.op("equeue.return").operands(threaded.iter().copied()).finish();
+            hb.op("equeue.return")
+                .operands(threaded.iter().copied())
+                .finish();
         }
 
         // Extend launch 1 with extra results for the threaded values.
         // Simplest faithful encoding: rebuild launch 1 with the same
         // operands/region plus new result types.
         let l1_data = module.op(launch).clone();
-        let mut result_types: Vec<Type> =
-            l1_data.results.iter().map(|&r| module.value_type(r).clone()).collect();
+        let mut result_types: Vec<Type> = l1_data
+            .results
+            .iter()
+            .map(|&r| module.value_type(r).clone())
+            .collect();
         result_types.extend(threaded.iter().map(|&v| module.value_type(v).clone()));
         let region1 = l1_data.regions[0];
         // Detach region from old op so the new op can own it.
@@ -127,12 +146,15 @@ impl Pass for SplitLaunch {
 
         let done1 = module.result(new_l1, 0);
         let n_old = l1_data.results.len();
-        let threaded_results: Vec<ValueId> =
-            (0..threaded.len()).map(|i| module.result(new_l1, n_old + i)).collect();
+        let threaded_results: Vec<ValueId> = (0..threaded.len())
+            .map(|i| module.result(new_l1, n_old + i))
+            .collect();
 
         // Launch 2 on the same proc, dep = done1, captures = threaded vals.
-        let old_ret_types: Vec<Type> =
-            old_ret_operands.iter().map(|v| module.value_type(*v).clone()).collect();
+        let old_ret_types: Vec<Type> = old_ret_operands
+            .iter()
+            .map(|v| module.value_type(*v).clone())
+            .collect();
         let mut b = OpBuilder::after(module, new_l1);
         let mut result_types2 = vec![Type::Signal];
         result_types2.extend(old_ret_types);
@@ -153,7 +175,7 @@ impl Pass for SplitLaunch {
 mod tests {
     use super::*;
     use equeue_core::simulate;
-    use equeue_dialect::{standard_registry, ArithBuilder, EqueueBuilder, kinds};
+    use equeue_dialect::{kinds, standard_registry, ArithBuilder, EqueueBuilder};
     use equeue_ir::verify_module;
 
     #[test]

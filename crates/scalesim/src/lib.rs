@@ -66,7 +66,14 @@ pub struct ConvShape {
 impl ConvShape {
     /// A square convolution.
     pub fn square(hw: usize, f: usize, c: usize, n: usize) -> Self {
-        ConvShape { h: hw, w: hw, fh: f, fw: f, c, n }
+        ConvShape {
+            h: hw,
+            w: hw,
+            fh: f,
+            fw: f,
+            c,
+            n,
+        }
     }
 
     /// Output height `Eh`.
@@ -139,9 +146,24 @@ pub struct Mapping {
 /// `D1`, `D2` definitions).
 pub fn mapping(conv: ConvShape, df: Dataflow) -> Mapping {
     match df {
-        Dataflow::Ws => Mapping { d1: conv.k(), d2: conv.n, stream: conv.e(), double_stream: false },
-        Dataflow::Is => Mapping { d1: conv.k(), d2: conv.e(), stream: conv.n, double_stream: false },
-        Dataflow::Os => Mapping { d1: conv.n, d2: conv.k(), stream: conv.e(), double_stream: true },
+        Dataflow::Ws => Mapping {
+            d1: conv.k(),
+            d2: conv.n,
+            stream: conv.e(),
+            double_stream: false,
+        },
+        Dataflow::Is => Mapping {
+            d1: conv.k(),
+            d2: conv.e(),
+            stream: conv.n,
+            double_stream: false,
+        },
+        Dataflow::Os => Mapping {
+            d1: conv.n,
+            d2: conv.k(),
+            stream: conv.e(),
+            double_stream: true,
+        },
     }
 }
 
@@ -195,7 +217,11 @@ pub fn scale_sim(array: ArrayShape, conv: ConvShape, df: Dataflow) -> ScaleSimRe
             let load = (ru * cu).div_ceil(array.cols) as u64;
             // Stream with pipeline fill and drain. OS accumulates in
             // place and drains its ru outputs per column afterwards.
-            let stream = if map.double_stream { 2 * map.stream } else { map.stream } as u64;
+            let stream = if map.double_stream {
+                2 * map.stream
+            } else {
+                map.stream
+            } as u64;
             let drain = if map.double_stream { ru as u64 } else { 0 };
             let pass = stream + ru as u64 + cu as u64 - 1 + drain;
             cycles += load + pass;
@@ -274,7 +300,14 @@ mod tests {
     #[test]
     fn single_fold_cycle_formula() {
         // K=4 fits rows, N=4 fits cols: one fold.
-        let conv = ConvShape { h: 5, w: 5, fh: 2, fw: 2, c: 1, n: 4 };
+        let conv = ConvShape {
+            h: 5,
+            w: 5,
+            fh: 2,
+            fw: 2,
+            c: 1,
+            n: 4,
+        };
         let r = scale_sim(A4, conv, Dataflow::Ws);
         // load = ceil(4*4/4) = 4; stream = E = 16; pass = 16+4+4-1 = 23.
         assert_eq!(r.cycles, 4 + 23);
@@ -282,7 +315,14 @@ mod tests {
 
     #[test]
     fn os_streams_twice_and_drains() {
-        let conv = ConvShape { h: 5, w: 5, fh: 2, fw: 2, c: 1, n: 4 };
+        let conv = ConvShape {
+            h: 5,
+            w: 5,
+            fh: 2,
+            fw: 2,
+            c: 1,
+            n: 4,
+        };
         // OS: d1 = N = 4, d2 = K = 4, stream = E = 16 doubled, plus a
         // 4-cycle output drain.
         let r = scale_sim(A4, conv, Dataflow::Os);
@@ -317,7 +357,14 @@ mod tests {
         // to short-and-wide arrays, where WS folds K over the rows but OS
         // does not.
         let array = ArrayShape { rows: 2, cols: 32 };
-        let conv = ConvShape { h: 7, w: 7, fh: 4, fw: 4, c: 3, n: 2 }; // K=48
+        let conv = ConvShape {
+            h: 7,
+            w: 7,
+            fh: 4,
+            fw: 4,
+            c: 3,
+            n: 2,
+        }; // K=48
         let ws = scale_sim(array, conv, Dataflow::Ws);
         let os = scale_sim(array, conv, Dataflow::Os);
         assert!(os.cycles < ws.cycles, "os={} ws={}", os.cycles, ws.cycles);
@@ -334,7 +381,14 @@ mod tests {
     #[test]
     fn traffic_accounting_ws() {
         // One fold: weights ru*cu once, ifmap E*ru, ofmap E*cu.
-        let conv = ConvShape { h: 5, w: 5, fh: 2, fw: 2, c: 1, n: 4 };
+        let conv = ConvShape {
+            h: 5,
+            w: 5,
+            fh: 2,
+            fw: 2,
+            c: 1,
+            n: 4,
+        };
         let r = scale_sim(A4, conv, Dataflow::Ws);
         assert_eq!(r.weight_read_bytes, 16 * ELEM_BYTES);
         assert_eq!(r.ifmap_read_bytes, (16 * 4) as u64 * ELEM_BYTES);
@@ -352,7 +406,10 @@ mod tests {
         // Fig. 12c–e: iterations = ⌈D1/Ah⌉ × ⌈D2/Aw⌉.
         for df in Dataflow::all() {
             for ah in [2usize, 4, 8] {
-                let array = ArrayShape { rows: ah, cols: 64 / ah };
+                let array = ArrayShape {
+                    rows: ah,
+                    cols: 64 / ah,
+                };
                 let conv = ConvShape::square(8, 2, 4, 8);
                 let m = mapping(conv, df);
                 let r = scale_sim(array, conv, df);

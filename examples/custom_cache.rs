@@ -20,7 +20,13 @@ struct ParityCache {
 }
 
 impl MemoryBehavior for ParityCache {
-    fn access_cycles(&mut self, _kind: equeue::sim::AccessKind, addr: usize, elems: usize, _banks: u32) -> u64 {
+    fn access_cycles(
+        &mut self,
+        _kind: equeue::sim::AccessKind,
+        addr: usize,
+        elems: usize,
+        _banks: u32,
+    ) -> u64 {
         let mut total = 0;
         for a in addr..addr + elems.max(1) {
             total += if a % 2 == 0 { self.hit } else { self.miss };
@@ -78,17 +84,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The built-in set-associative LRU cache (first touches miss).
     let builtin = simulate(&program(kinds::CACHE))?;
-    println!("built-in Cache  : {} cycles (cold misses dominate)", builtin.cycles);
+    println!(
+        "built-in Cache  : {} cycles (cold misses dominate)",
+        builtin.cycles
+    );
 
     // 3. A fully custom component registered in the simulator library —
     //    no engine changes, exactly the extension story of §IV-D.
     let mut lib = SimLibrary::standard();
     lib.register_mem_factory("ParityCache", parity_cache_factory);
     let custom = simulate_with(&program("ParityCache"), &lib, &SimOptions::default())?;
-    println!("ParityCache     : {} cycles (4 hits + 4 misses)", custom.cycles);
+    println!(
+        "ParityCache     : {} cycles (4 hits + 4 misses)",
+        custom.cycles
+    );
 
     assert_eq!(sram.cycles, 8);
-    assert_eq!(custom.cycles, 4 * 1 + 4 * 20);
+    assert_eq!(custom.cycles, 4 + 4 * 20);
     assert!(builtin.cycles > sram.cycles);
     Ok(())
 }

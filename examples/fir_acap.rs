@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = FirSpec::default(); // 32 taps, 512 samples
     std::fs::create_dir_all("target/traces")?;
 
-    println!("AI Engine FIR, {} taps over {} samples\n", spec.taps, spec.samples);
+    println!(
+        "AI Engine FIR, {} taps over {} samples\n",
+        spec.taps, spec.samples
+    );
 
     for case in FirCase::all() {
         let prog = generate_fir(spec, case);

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reg0 = b.create_mem(kinds::REGISTER, &[4], 32, 1);
     let pe1 = b.create_proc(kinds::MAC);
     let reg1 = b.create_mem(kinds::REGISTER, &[4], 32, 1);
-    b.add_comp(accel, &["PE0", "Reg0", "PE1", "Reg1"], vec![pe0, reg0, pe1, reg1]);
+    b.add_comp(
+        accel,
+        &["PE0", "Reg0", "PE1", "Reg1"],
+        vec![pe0, reg0, pe1, reg1],
+    );
 
     let input = b.alloc(sram, &[4], Type::I32);
     let buf0 = b.alloc(reg0, &[4], Type::I32);
@@ -70,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write("target/traces/quickstart.json", &json)?;
     println!("trace written to target/traces/quickstart.json (open in chrome://tracing)");
 
-    assert_eq!(report.cycles, 2, "copy (1 cycle) then both PEs in parallel (1 cycle)");
+    assert_eq!(
+        report.cycles, 2,
+        "copy (1 cycle) then both PEs in parallel (1 cycle)"
+    );
     Ok(())
 }

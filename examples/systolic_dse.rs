@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ah in [2usize, 4, 8, 16, 32] {
         let aw = 64 / ah;
         for df in [Dataflow::Ws, Dataflow::Is, Dataflow::Os] {
-            let spec = SystolicSpec { rows: ah, cols: aw, dataflow: df };
+            let spec = SystolicSpec {
+                rows: ah,
+                cols: aw,
+                dataflow: df,
+            };
             let prog = generate_systolic(&spec, dims);
             let report = simulate(&prog.module)?;
             let rd: u64 = report.memories.iter().map(|m| m.bytes_read).sum();
@@ -52,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 util * 100.0,
             );
             let label = format!("{}x{} {}", ah, aw, df.as_str());
-            if best.as_ref().map(|(c, _)| report.cycles < *c).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|(c, _)| report.cycles < *c)
+                .unwrap_or(true)
+            {
                 best = Some((report.cycles, label));
             }
         }

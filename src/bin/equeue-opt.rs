@@ -91,7 +91,9 @@ fn make_pass(name: &str, module: &Module) -> Result<Box<dyn Pass>, IrError> {
         module
             .find_first(op_name)
             .map(|op| module.result(op, 0))
-            .ok_or_else(|| IrError::other(format!("pass '{name}' needs a '{op_name}' in the module")))
+            .ok_or_else(|| {
+                IrError::other(format!("pass '{name}' needs a '{op_name}' in the module"))
+            })
     };
     Ok(match name {
         "canonicalize" => Box::new(passes::Canonicalize),
@@ -100,8 +102,12 @@ fn make_pass(name: &str, module: &Module) -> Result<Box<dyn Pass>, IrError> {
         "memcpy-to-launch" => Box::new(passes::MemcpyToLaunch),
         "merge-memcpy-launch" => Box::new(passes::MergeMemcpyLaunch),
         "lower-extraction" => Box::new(passes::LowerExtraction),
-        "allocate-buffer" => Box::new(passes::AllocateMemory::new(first_result("equeue.create_mem")?)),
-        "launch" => Box::new(passes::WrapInLaunch::new(first_result("equeue.create_proc")?)),
+        "allocate-buffer" => Box::new(passes::AllocateMemory::new(first_result(
+            "equeue.create_mem",
+        )?)),
+        "launch" => Box::new(passes::WrapInLaunch::new(first_result(
+            "equeue.create_proc",
+        )?)),
         "flatten-conv-loops-ws" => Box::new(passes::FlattenConvLoops::new(Dataflow::Ws)),
         "flatten-conv-loops-is" => Box::new(passes::FlattenConvLoops::new(Dataflow::Is)),
         "flatten-conv-loops-os" => Box::new(passes::FlattenConvLoops::new(Dataflow::Os)),

@@ -78,7 +78,13 @@ fn dma_driven_copy_fig4b() {
     {
         let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
         let inner_start = ib.control_start();
-        let copied = ib.memcpy(inner_start, l.body_args[0], l.body_args[1], dma_v, Some(conn_v));
+        let copied = ib.memcpy(
+            inner_start,
+            l.body_args[0],
+            l.body_args[1],
+            dma_v,
+            Some(conn_v),
+        );
         ib.await_all(vec![copied]);
         ib.ret(vec![]);
     }

@@ -17,7 +17,11 @@ fn build() -> Module {
     let reg0 = b.create_mem(kinds::REGISTER, &[4], 32, 1);
     let pe1 = b.create_proc(kinds::MAC);
     let reg1 = b.create_mem(kinds::REGISTER, &[4], 32, 1);
-    b.add_comp(accel, &["PE0", "Reg0", "PE1", "Reg1"], vec![pe0, reg0, pe1, reg1]);
+    b.add_comp(
+        accel,
+        &["PE0", "Reg0", "PE1", "Reg1"],
+        vec![pe0, reg0, pe1, reg1],
+    );
 
     let input = b.alloc(sram, &[4], Type::I32);
     let buf0 = b.alloc(reg0, &[4], Type::I32);

@@ -19,7 +19,10 @@ fn build_and_run(dims: ConvDims, flatten: Option<Dataflow>) -> (Vec<i64>, Vec<i6
     let sram = b.create_mem(kinds::SRAM, &[capacity], 32, 4);
 
     let ifmap = b.memref_alloc(Type::memref(vec![dims.c, dims.h, dims.w], Type::I32));
-    let weights = b.memref_alloc(Type::memref(vec![dims.n, dims.c, dims.fh, dims.fw], Type::I32));
+    let weights = b.memref_alloc(Type::memref(
+        vec![dims.n, dims.c, dims.fh, dims.fw],
+        Type::I32,
+    ));
     let ofmap = b.memref_alloc(Type::memref(vec![dims.n, dims.eh(), dims.ew()], Type::I32));
 
     // Deterministic init data, written element-wise before the conv.
@@ -28,7 +31,11 @@ fn build_and_run(dims: ConvDims, flatten: Option<Dataflow>) -> (Vec<i64>, Vec<i6
         let v = (flat % 7) as i64;
         ifmap_data.push(v);
         let val = b.const_int(v, Type::I32);
-        let idx = [b.const_index(ci as i64), b.const_index(hi as i64), b.const_index(wi as i64)];
+        let idx = [
+            b.const_index(ci as i64),
+            b.const_index(hi as i64),
+            b.const_index(wi as i64),
+        ];
         b.affine_store(val, ifmap, idx.to_vec());
     }
     let mut weight_data = vec![];
@@ -50,7 +57,8 @@ fn build_and_run(dims: ConvDims, flatten: Option<Dataflow>) -> (Vec<i64>, Vec<i6
 
     let registry = standard_registry();
     let mut pm = PassManager::new(registry);
-    pm.add(AllocateMemory::new(sram)).add(ConvertLinalgToAffineLoops);
+    pm.add(AllocateMemory::new(sram))
+        .add(ConvertLinalgToAffineLoops);
     if let Some(df) = flatten {
         pm.add(equeue_passes::FlattenConvLoops::new(df));
     }
@@ -60,12 +68,22 @@ fn build_and_run(dims: ConvDims, flatten: Option<Dataflow>) -> (Vec<i64>, Vec<i6
     let report = simulate(&m).unwrap();
     // Buffers in allocation order: ifmap, weights, ofmap.
     let got = match &report.buffers[2].data.data {
-        TensorData::Int(v) => v.clone(),
+        TensorData::Int(v) => v.to_vec(),
         other => panic!("expected int ofmap, got {other:?}"),
     };
 
     let mut expect = vec![0i64; dims.ofmap_elems()];
-    conv2d_int(&ifmap_data, &weight_data, &mut expect, dims.c, dims.h, dims.w, dims.n, dims.fh, dims.fw);
+    conv2d_int(
+        &ifmap_data,
+        &weight_data,
+        &mut expect,
+        dims.c,
+        dims.h,
+        dims.w,
+        dims.n,
+        dims.fh,
+        dims.fw,
+    );
     (got, expect)
 }
 
@@ -95,7 +113,14 @@ fn flattened_loops_compute_the_same_convolution() {
 
 #[test]
 fn asymmetric_shapes_compute_correctly() {
-    let dims = ConvDims { h: 6, w: 4, fh: 3, fw: 2, c: 2, n: 3 };
+    let dims = ConvDims {
+        h: 6,
+        w: 4,
+        fh: 3,
+        fw: 2,
+        c: 2,
+        n: 3,
+    };
     let (got, expect) = build_and_run(dims, None);
     assert_eq!(got, expect);
 }
@@ -120,5 +145,8 @@ fn memcpy_moves_real_data() {
     let done = b.memcpy(start, src, dst, dma, None);
     b.await_all(vec![done]);
     let report = simulate(&m).unwrap();
-    assert_eq!(report.buffers[1].data.data, TensorData::Int(vec![10, 11, 12, 13]));
+    assert_eq!(
+        report.buffers[1].data.data,
+        TensorData::from_ints(vec![10, 11, 12, 13])
+    );
 }

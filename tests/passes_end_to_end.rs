@@ -154,7 +154,10 @@ fn linalg_lowering_then_simulation_is_consistent() {
     let capacity = dims.ifmap_elems() + dims.weight_elems() + dims.ofmap_elems();
     let sram = b.create_mem(kinds::SRAM, &[capacity], 32, 4);
     let i = b.memref_alloc(Type::memref(vec![dims.c, dims.h, dims.w], Type::I32));
-    let w = b.memref_alloc(Type::memref(vec![dims.n, dims.c, dims.fh, dims.fw], Type::I32));
+    let w = b.memref_alloc(Type::memref(
+        vec![dims.n, dims.c, dims.fh, dims.fw],
+        Type::I32,
+    ));
     let o = b.memref_alloc(Type::memref(vec![dims.n, dims.eh(), dims.ew()], Type::I32));
     b.linalg_conv2d(i, w, o);
 

@@ -1,10 +1,46 @@
-//! Property-based tests of the simulation engine's core invariants:
-//! event-chain timing is compositional, parallel launches overlap,
-//! signal combinators honour max/min semantics, and simulation is
+//! Randomised (property-style) tests of the simulation engine's core
+//! invariants: event-chain timing is compositional, parallel launches
+//! overlap, signal combinators honour max/min semantics, and simulation is
 //! deterministic.
+//!
+//! The workspace carries no external dependencies, so instead of `proptest`
+//! these use a small deterministic xorshift generator: each property is
+//! checked over a fixed number of seeded random cases, and failures print
+//! the offending input so the case can be replayed.
 
 use equeue::prelude::*;
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG — good enough to diversify test inputs,
+/// fully reproducible across runs and platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// A vector of `len in [min_len, max_len)` values in `[lo, hi)`.
+    fn vec(&mut self, min_len: usize, max_len: usize, lo: u64, hi: u64) -> Vec<u64> {
+        let len = self.range(min_len as u64, max_len as u64) as usize;
+        (0..len).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+const CASES: usize = 48;
 
 /// Builds a chain of `lens[i]`-cycle launches on one processor; the total
 /// must be the sum.
@@ -58,26 +94,34 @@ fn parallel_cycles(lens: &[u64]) -> u64 {
     simulate(&m).unwrap().cycles
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn chains_sum(lens in proptest::collection::vec(0u64..50, 1..12)) {
+#[test]
+fn chains_sum() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..CASES {
+        let lens = rng.vec(1, 12, 0, 50);
         let total: u64 = lens.iter().sum();
-        prop_assert_eq!(chain_cycles(&lens), total);
+        assert_eq!(chain_cycles(&lens), total, "lens = {lens:?}");
     }
+}
 
-    #[test]
-    fn parallel_takes_max(lens in proptest::collection::vec(0u64..50, 1..8)) {
+#[test]
+fn parallel_takes_max() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..CASES {
+        let lens = rng.vec(1, 8, 0, 50);
         let max = lens.iter().copied().max().unwrap_or(0);
-        prop_assert_eq!(parallel_cycles(&lens), max);
+        assert_eq!(parallel_cycles(&lens), max, "lens = {lens:?}");
     }
+}
 
-    #[test]
-    fn fifo_on_one_proc_sums_even_with_shared_dep(lens in proptest::collection::vec(1u64..20, 1..8)) {
-        // All launches depend on the same start signal but share one
-        // processor: the queue serialises them (§III-D: "each processor
-        // only executes one event at a time").
+#[test]
+fn fifo_on_one_proc_sums_even_with_shared_dep() {
+    // All launches depend on the same start signal but share one
+    // processor: the queue serialises them (§III-D: "each processor
+    // only executes one event at a time").
+    let mut rng = Rng::new(0xFACADE);
+    for _ in 0..CASES {
+        let lens = rng.vec(1, 8, 1, 20);
         let mut m = Module::new();
         let blk = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, blk);
@@ -88,7 +132,10 @@ proptest! {
             let l = b.launch(start, pe, &[], vec![]);
             {
                 let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
-                ib.op("equeue.op").attr("signature", "w").attr("cycles", len as i64).finish();
+                ib.op("equeue.op")
+                    .attr("signature", "w")
+                    .attr("cycles", len as i64)
+                    .finish();
                 ib.ret(vec![]);
             }
             dones.push(l.done);
@@ -97,20 +144,32 @@ proptest! {
         let all = b.control_and(dones);
         b.await_all(vec![all]);
         let total: u64 = lens.iter().sum();
-        prop_assert_eq!(simulate(&m).unwrap().cycles, total);
+        assert_eq!(simulate(&m).unwrap().cycles, total, "lens = {lens:?}");
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(lens in proptest::collection::vec(0u64..30, 1..6)) {
-        prop_assert_eq!(parallel_cycles(&lens), parallel_cycles(&lens));
-        prop_assert_eq!(chain_cycles(&lens), chain_cycles(&lens));
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng::new(0xD15EA5E);
+    for _ in 0..CASES / 4 {
+        let lens = rng.vec(1, 6, 0, 30);
+        assert_eq!(
+            parallel_cycles(&lens),
+            parallel_cycles(&lens),
+            "lens = {lens:?}"
+        );
+        assert_eq!(chain_cycles(&lens), chain_cycles(&lens), "lens = {lens:?}");
     }
+}
 
-    #[test]
-    fn control_or_fires_at_min_and_at_max(lens in proptest::collection::vec(1u64..40, 2..6)) {
-        // Launches of different lengths on separate PEs; awaiting the OR
-        // ends at min, awaiting the AND at max — total runtime is still
-        // max (all launches run to completion).
+#[test]
+fn control_or_fires_at_min_and_at_max() {
+    // Launches of different lengths on separate PEs; awaiting the OR
+    // ends at min, awaiting the AND at max — total runtime is still
+    // max (all launches run to completion).
+    let mut rng = Rng::new(0xAB5E11);
+    for _ in 0..CASES {
+        let lens = rng.vec(2, 6, 1, 40);
         let mut m = Module::new();
         let blk = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, blk);
@@ -121,7 +180,10 @@ proptest! {
             let l = b.launch(start, pe, &[], vec![]);
             {
                 let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
-                ib.op("equeue.op").attr("signature", "w").attr("cycles", len as i64).finish();
+                ib.op("equeue.op")
+                    .attr("signature", "w")
+                    .attr("cycles", len as i64)
+                    .finish();
                 ib.ret(vec![]);
             }
             dones.push(l.done);
@@ -131,11 +193,20 @@ proptest! {
         let all = b.control_and(dones);
         b.await_all(vec![any, all]);
         let cycles = simulate(&m).unwrap().cycles;
-        prop_assert_eq!(cycles, lens.iter().copied().max().unwrap());
+        assert_eq!(
+            cycles,
+            lens.iter().copied().max().unwrap(),
+            "lens = {lens:?}"
+        );
     }
+}
 
-    #[test]
-    fn sram_reads_cost_ceil_elems_over_banks(elems in 1usize..64, banks in 1u32..8) {
+#[test]
+fn sram_reads_cost_ceil_elems_over_banks() {
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..CASES {
+        let elems = rng.range(1, 64) as usize;
+        let banks = rng.range(1, 8) as u32;
         let mut m = Module::new();
         let blk = m.top_block();
         let mut b = OpBuilder::at_end(&mut m, blk);
@@ -153,7 +224,11 @@ proptest! {
         let mut b = OpBuilder::at_end(&mut m, blk);
         b.await_all(vec![done]);
         let cycles = simulate(&m).unwrap().cycles;
-        prop_assert_eq!(cycles, (elems as u64).div_ceil(banks as u64));
+        assert_eq!(
+            cycles,
+            (elems as u64).div_ceil(banks as u64),
+            "elems = {elems}, banks = {banks}"
+        );
     }
 }
 
@@ -162,14 +237,25 @@ fn systolic_always_at_least_ideal_cycles() {
     // For any config, simulated cycles ≥ MACs / PEs (no free lunch).
     use equeue::dialect::ConvDims;
     use equeue::gen::{generate_systolic, SystolicSpec};
-    for (ah, hw, f, n) in [(2usize, 8usize, 2usize, 4usize), (4, 8, 3, 2), (8, 16, 2, 8)] {
+    for (ah, hw, f, n) in [
+        (2usize, 8usize, 2usize, 4usize),
+        (4, 8, 3, 2),
+        (8, 16, 2, 8),
+    ] {
         let dims = ConvDims::square(hw, f, 2, n);
         for df in [Dataflow::Ws, Dataflow::Is, Dataflow::Os] {
-            let spec = SystolicSpec { rows: ah, cols: 64 / ah, dataflow: df };
+            let spec = SystolicSpec {
+                rows: ah,
+                cols: 64 / ah,
+                dataflow: df,
+            };
             let prog = generate_systolic(&spec, dims);
             let cycles = simulate(&prog.module).unwrap().cycles;
             let ideal = (dims.macs() / (ah * (64 / ah))) as u64;
-            assert!(cycles >= ideal.min(1), "{df:?} ah={ah} hw={hw}: {cycles} < {ideal}");
+            assert!(
+                cycles >= ideal.min(1),
+                "{df:?} ah={ah} hw={hw}: {cycles} < {ideal}"
+            );
         }
     }
 }

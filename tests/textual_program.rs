@@ -59,7 +59,13 @@ fn generated_programs_survive_file_round_trip() {
     use equeue::gen::{generate_fir, FirCase, FirSpec};
     // The whole 16-core FIR program prints, parses, and re-simulates to
     // the same cycle count.
-    let prog = generate_fir(FirSpec { taps: 32, samples: 64 }, FirCase::Pipelined16);
+    let prog = generate_fir(
+        FirSpec {
+            taps: 32,
+            samples: 64,
+        },
+        FirCase::Pipelined16,
+    );
     let direct = simulate(&prog.module).unwrap().cycles;
     let text = print_module(&prog.module);
     let reparsed = parse_module(&text).unwrap();
