@@ -2,8 +2,19 @@
 //! scenarios plus engine-focused microworkloads, and writes
 //! `BENCH_engine.json` so successive PRs have a perf trajectory.
 //!
-//! Usage: `cargo run --release --bin bench [-- <output-path>]`
+//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [<output-path>]]`
 //! (default output: `BENCH_engine.json` in the current directory).
+//!
+//! * `--jobs N` — worker threads for the sweep scenarios (`fig12_small_sweep`);
+//!   default is the machine's available parallelism, `--jobs 1` forces the
+//!   sequential path. Cycles/events/ops are bit-identical at any job count —
+//!   only wall-clock changes.
+//! * `--filter SUBSTR` — run only scenarios whose name contains `SUBSTR`
+//!   (perf-iteration mode). The emitted JSON then holds a *subset* of the
+//!   scenarios and must not be committed: the CI drift guard compares the
+//!   full set. Unless an explicit output path is given, filtered runs
+//!   write to `BENCH_engine.filtered.json` so they cannot clobber the
+//!   committed baseline.
 //!
 //! # `BENCH_engine.json` schema (version 1)
 //!
@@ -25,13 +36,18 @@
 //! ```
 //!
 //! `cycles`/`events`/`ops` are determinism guards: a perf PR must leave
-//! them bit-identical while driving `best_ms` down. Timings are wall-clock
+//! them bit-identical while driving `best_ms` down. Sweep scenarios
+//! (`fig12_small_sweep`) report the **sums** of per-point cycles, scheduler
+//! wakes, and interpreted ops across the whole sweep — order-independent,
+//! so the guard holds at any `--jobs` width. Single-module scenarios are
+//! compiled once ([`equeue_core::CompiledModule`]) and the prepass runs
+//! outside the timed region, like the generators. Timings are wall-clock
 //! on whatever machine ran the bench — compare relative trends, not
 //! absolute numbers, across machines.
 
 use equeue_bench::timing::{time, Sample};
-use equeue_bench::{fig12_sweep, run_quiet, scenarios};
-use equeue_core::{simulate_with, SimLibrary, SimOptions, SimReport};
+use equeue_bench::{fig12_sweep_jobs, pool, run_quiet, scenarios};
+use equeue_core::{CompiledModule, SimLibrary, SimOptions, SimReport};
 use equeue_dialect::ConvDims;
 use equeue_gen::{
     build_stage_program, generate_fir, generate_systolic, FirCase, FirSpec, Stage, SystolicSpec,
@@ -49,14 +65,16 @@ struct Row {
 }
 
 /// Times `iters` quiet simulations of `module` and records the report
-/// counters of the last run.
-fn sim_row(name: &str, iters: u32, module: &Module) -> Row {
-    let lib = SimLibrary::standard();
+/// counters of a reference run. The module is compiled once — the layout
+/// prepass runs outside the timed region, so the row measures execution,
+/// not recompilation.
+fn sim_row(name: &str, iters: u32, module: Module) -> Row {
+    let compiled = CompiledModule::compile(module, SimLibrary::standard());
     let opts = SimOptions {
         trace: false,
         ..Default::default()
     };
-    let run = || simulate_with(module, &lib, &opts).expect("simulation");
+    let run = || compiled.simulate(&opts).expect("simulation");
     let report: SimReport = run();
     let sample = time(name, iters, || run().cycles);
     Row {
@@ -67,67 +85,154 @@ fn sim_row(name: &str, iters: u32, module: &Module) -> Row {
     }
 }
 
+/// Parsed command line.
+struct Args {
+    jobs: usize,
+    filter: Option<String>,
+    out_path: String,
+}
+
+fn parse_args() -> Args {
+    let mut jobs = 0; // 0 = available parallelism (pool convention)
+    let mut filter = None;
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--jobs" => jobs = pool::parse_jobs_arg("bench", argv.next()),
+            "--filter" => {
+                filter = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("bench: --filter needs a substring");
+                    std::process::exit(2);
+                }));
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!(
+                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / <output-path>)"
+                );
+                std::process::exit(2);
+            }
+            other => {
+                if let Some(prev) = &out_path {
+                    eprintln!("bench: two output paths given ('{prev}' and '{other}')");
+                    std::process::exit(2);
+                }
+                out_path = Some(other.to_string());
+            }
+        }
+    }
+    // A filtered run emits a scenario *subset*: default it to a side file
+    // so iterating on one scenario can never silently clobber the
+    // committed full baseline the CI drift guard compares against.
+    let out_path = out_path.unwrap_or_else(|| {
+        if filter.is_some() {
+            "BENCH_engine.filtered.json".to_string()
+        } else {
+            "BENCH_engine.json".to_string()
+        }
+    });
+    Args {
+        jobs,
+        filter,
+        out_path,
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let args = parse_args();
+    let enabled = |name: &str| -> bool { args.filter.as_deref().is_none_or(|f| name.contains(f)) };
+    println!(
+        "bench: jobs = {} ({} requested){}",
+        pool::resolve_jobs(args.jobs),
+        if args.jobs == 0 {
+            "auto".to_string()
+        } else {
+            args.jobs.to_string()
+        },
+        args.filter
+            .as_deref()
+            .map(|f| format!(", filter = '{f}'"))
+            .unwrap_or_default(),
+    );
     let mut rows: Vec<Row> = vec![];
 
-    // Figure scenarios: one representative point each (generation outside
-    // the timed loop — this benchmarks the engine, not the generators).
-    let fig09 = generate_systolic(
-        &SystolicSpec {
-            rows: 4,
-            cols: 4,
-            dataflow: Dataflow::Ws,
-        },
-        ConvDims::square(16, 2, 3, 1),
-    );
-    rows.push(sim_row("fig09_16x16_ws", 10, &fig09.module));
+    // Figure scenarios: one representative point each (generation and the
+    // compile prepass outside the timed loop — this benchmarks the engine's
+    // execution, not the generators or the prepass).
+    if enabled("fig09_16x16_ws") {
+        let fig09 = generate_systolic(
+            &SystolicSpec {
+                rows: 4,
+                cols: 4,
+                dataflow: Dataflow::Ws,
+            },
+            ConvDims::square(16, 2, 3, 1),
+        );
+        rows.push(sim_row("fig09_16x16_ws", 10, fig09.module));
+    }
 
-    let fig11 = build_stage_program(
-        Stage::all()[Stage::all().len() - 1],
-        ConvDims::square(6, 3, 3, 4),
-        (4, 4),
-        Dataflow::Ws,
-    );
-    rows.push(sim_row("fig11_last_stage_6x6", 10, &fig11.module));
+    if enabled("fig11_last_stage_6x6") {
+        let fig11 = build_stage_program(
+            Stage::all()[Stage::all().len() - 1],
+            ConvDims::square(6, 3, 3, 4),
+            (4, 4),
+            Dataflow::Ws,
+        );
+        rows.push(sim_row("fig11_last_stage_6x6", 10, fig11.module));
+    }
 
-    let fir = generate_fir(FirSpec::default(), FirCase::Balanced4);
-    rows.push(sim_row("fir_balanced4", 10, &fir.module));
+    if enabled("fir_balanced4") {
+        let fir = generate_fir(FirSpec::default(), FirCase::Balanced4);
+        rows.push(sim_row("fir_balanced4", 10, fir.module));
+    }
 
     // The fig12 subsampled sweep end-to-end (generation + simulation for
-    // every config) — the scenario later scaling PRs (sharding, batching)
-    // will parallelise.
-    {
+    // every config), sharded across the worker pool. The guards sum
+    // per-point cycles, scheduler wakes, and interpreted ops — the sums are
+    // order-independent, so the committed values hold at any --jobs width.
+    if enabled("fig12_small_sweep") {
         let mut guard = (0u64, 0u64, 0u64);
         let sample = time("fig12_small_sweep", 3, || {
-            let rows = fig12_sweep(false);
-            guard = rows
-                .iter()
-                .fold((0, 0, 0), |acc, r| (acc.0 + r.cycles, acc.1, acc.2));
+            let rows = fig12_sweep_jobs(false, args.jobs);
+            guard = rows.iter().fold((0, 0, 0), |acc, r| {
+                (
+                    acc.0 + r.cycles,
+                    acc.1 + r.events_processed,
+                    acc.2 + r.ops_interpreted,
+                )
+            });
             rows.len()
         });
         rows.push(Row {
             sample,
             cycles: guard.0,
-            events: 0,
-            ops: 0,
+            events: guard.1,
+            ops: guard.2,
         });
     }
 
     // Engine microworkloads.
-    rows.push(sim_row(
-        "matmul64_linalg",
-        10,
-        &scenarios::matmul_linalg(64),
-    ));
-    rows.push(sim_row("matmul64_affine", 5, &scenarios::matmul_affine(64)));
-    rows.push(sim_row(
-        "tensor_stream_256x128",
-        10,
-        &scenarios::tensor_stream(256, 128),
-    ));
+    if enabled("matmul64_linalg") {
+        rows.push(sim_row("matmul64_linalg", 10, scenarios::matmul_linalg(64)));
+    }
+    if enabled("matmul64_affine") {
+        rows.push(sim_row("matmul64_affine", 5, scenarios::matmul_affine(64)));
+    }
+    if enabled("tensor_stream_256x128") {
+        rows.push(sim_row(
+            "tensor_stream_256x128",
+            10,
+            scenarios::tensor_stream(256, 128),
+        ));
+    }
+
+    if rows.is_empty() {
+        eprintln!(
+            "bench: filter '{}' matched no scenario",
+            args.filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
 
     // Emit JSON (hand-rolled: the workspace has no serde).
     let mut json = String::new();
@@ -148,11 +253,14 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("bench: cannot write {out_path}: {e}");
+    if let Err(e) = std::fs::write(&args.out_path, &json) {
+        eprintln!("bench: cannot write {}: {e}", args.out_path);
         std::process::exit(1);
     }
-    println!("\nwrote {out_path}");
+    println!("\nwrote {}", args.out_path);
+    if args.filter.is_some() {
+        println!("note: --filter output is a scenario subset; do not commit it");
+    }
 
     // Quiet-run sanity: every scenario simulated deterministically.
     let check = run_quiet(&scenarios::matmul_linalg(8));

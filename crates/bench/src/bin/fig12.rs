@@ -6,22 +6,37 @@
 //! Run with `--full` for the complete 4,050-candidate grid (Ah ∈
 //! {2,4,8,16,32} × H/W ∈ {2,4,8,16,32} × F ∈ {1,2,4} × C ∈ {1,2,4} × N ∈
 //! {1,2,4,8,16,32} × 3 dataflows, minus invalid filter sizes); the default
-//! is a representative subsample.
+//! is a representative subsample. `--jobs N` shards the independent
+//! simulations across N worker threads (default: all cores; results and
+//! row order are bit-identical at any width).
 
-use equeue_bench::{fig12_configs, fig12_point, Fig12Row};
+use equeue_bench::{fig12_configs, fig12_sweep_jobs, pool, Fig12Row};
 use equeue_passes::Dataflow;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let mut full = false;
+    let mut jobs = 0; // 0 = available parallelism
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--jobs" => jobs = pool::parse_jobs_arg("fig12", argv.next()),
+            other => {
+                eprintln!("fig12: unknown argument '{other}' (expected --full / --jobs N)");
+                std::process::exit(2);
+            }
+        }
+    }
     let configs = fig12_configs(full);
     println!(
-        "Fig. 12 — scalability sweep over {} configurations ({})",
+        "Fig. 12 — scalability sweep over {} configurations ({}; {} worker threads)",
         configs.len(),
         if full {
             "full grid"
         } else {
             "subsample; pass --full for the paper's grid"
         },
+        pool::resolve_jobs(jobs),
     );
     println!(
         "{:>3}x{:<3} {:>4} {:>2} {:>2} {:>3} {:>3} | {:>10} {:>10} {:>7} | {:>11} | {:>9} | {:>6}",
@@ -41,9 +56,9 @@ fn main() {
     );
     println!("{}", "-".repeat(108));
 
-    let mut rows: Vec<Fig12Row> = vec![];
-    for (ah, hw, f, c, n, df) in configs {
-        let r = fig12_point(ah, hw, f, c, n, df);
+    // Simulate the whole grid on the pool, then print in sweep order.
+    let rows: Vec<Fig12Row> = fig12_sweep_jobs(full, jobs);
+    for r in &rows {
         println!(
             "{:>3}x{:<3} {:>4} {:>2} {:>2} {:>3} {:>3} | {:>10} {:>10} {:>6.2}% | {:>9.1?} | {:>9.3} | {:>6}",
             r.ah,
@@ -61,7 +76,6 @@ fn main() {
             r.peak_write_bw_x_portion,
             r.loop_iterations,
         );
-        rows.push(r);
     }
 
     println!("\nper-dataflow summary (paper's Fig. 12 observations):");

@@ -5,8 +5,15 @@
 //! the paper reports; Criterion benches under `benches/` measure the
 //! simulator itself. The drivers live here so binaries, benches, and
 //! integration tests share one implementation.
+//!
+//! Sweeps over independent configurations ([`fig12_sweep`], [`fir_rows`])
+//! shard their points across the std-thread worker pool in [`pool`]; the
+//! `*_jobs` variants take an explicit thread count (`0` = all cores) and
+//! produce bit-identical rows at any job count.
 
 #![warn(missing_docs)]
+
+pub mod pool;
 
 use equeue_core::{simulate_with, SimLibrary, SimOptions, SimReport};
 use equeue_dialect::ConvDims;
@@ -14,7 +21,17 @@ use equeue_gen::{
     build_stage_program, generate_fir, generate_systolic, FirCase, FirSpec, Stage, SystolicSpec,
 };
 use equeue_passes::Dataflow;
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// The shared standard simulator library: built once per process and handed
+/// to every quiet run, so sweeps do not rebuild the profile/factory tables
+/// per point. `SimLibrary` is `Send + Sync`, so worker threads borrow it
+/// freely.
+pub fn standard_library() -> &'static SimLibrary {
+    static LIB: OnceLock<SimLibrary> = OnceLock::new();
+    LIB.get_or_init(SimLibrary::standard)
+}
 
 /// Converts the pass-level dataflow enum into the baseline's.
 pub fn to_scalesim(df: Dataflow) -> scalesim::Dataflow {
@@ -39,10 +56,9 @@ pub fn to_conv_shape(d: ConvDims) -> scalesim::ConvShape {
 
 /// Simulates a module without tracing (sweep mode).
 pub fn run_quiet(module: &equeue_ir::Module) -> SimReport {
-    let lib = SimLibrary::standard();
     simulate_with(
         module,
-        &lib,
+        standard_library(),
         &SimOptions {
             trace: false,
             ..Default::default()
@@ -218,6 +234,11 @@ pub struct Fig12Row {
     pub peak_write_bw_x_portion: f64,
     /// The paper's loop-iteration count `⌈D1/Ah⌉·⌈D2/Aw⌉`.
     pub loop_iterations: usize,
+    /// Scheduler wakes of the EQueue simulation (determinism guard: the
+    /// bench aggregates these across the sweep).
+    pub events_processed: u64,
+    /// Ops interpreted by the EQueue simulation (determinism guard).
+    pub ops_interpreted: u64,
 }
 
 /// One sweep coordinate: `(ah, hw, f, c, n, dataflow)`.
@@ -306,15 +327,25 @@ pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataf
         execution_time: report.execution_time,
         peak_write_bw_x_portion: peak,
         loop_iterations: prog.loop_iterations(),
+        events_processed: report.events_processed,
+        ops_interpreted: report.ops_interpreted,
     }
 }
 
-/// Runs the whole sweep.
+/// Runs the whole sweep on the default worker-pool width (all cores).
 pub fn fig12_sweep(full: bool) -> Vec<Fig12Row> {
-    fig12_configs(full)
-        .into_iter()
-        .map(|(ah, hw, f, c, n, df)| fig12_point(ah, hw, f, c, n, df))
-        .collect()
+    fig12_sweep_jobs(full, 0)
+}
+
+/// Runs the whole sweep sharded across `jobs` worker threads (`0` = all
+/// cores). Every point is an independent simulation; rows come back in
+/// configuration order with bit-identical cycles/events/ops at any job
+/// count.
+pub fn fig12_sweep_jobs(full: bool, jobs: usize) -> Vec<Fig12Row> {
+    let configs = fig12_configs(full);
+    pool::run_batch(jobs, &configs, |&(ah, hw, f, c, n, df)| {
+        fig12_point(ah, hw, f, c, n, df)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -339,30 +370,34 @@ pub struct FirRow {
     pub trace_json: String,
 }
 
-/// Runs all four FIR cases.
+/// Runs all four FIR cases on the default worker-pool width.
 pub fn fir_rows() -> Vec<FirRow> {
+    fir_rows_jobs(0)
+}
+
+/// Runs all four FIR cases, one worker per case up to `jobs` threads
+/// (`0` = all cores). Traces are recorded per case as before; rows come
+/// back in case order.
+pub fn fir_rows_jobs(jobs: usize) -> Vec<FirRow> {
     use equeue_gen::fir_reference as r;
-    FirCase::all()
-        .into_iter()
-        .map(|case| {
-            let prog = generate_fir(FirSpec::default(), case);
-            let report = equeue_core::simulate(&prog.module).expect("simulation");
-            let (paper, xilinx) = match case {
-                FirCase::SingleCore => (r::PAPER_CASE1, Some(r::XILINX_CASE1)),
-                FirCase::Pipelined16 => (r::PAPER_CASE2, None),
-                FirCase::Bandwidth16 => (r::PAPER_CASE3, None),
-                FirCase::Balanced4 => (r::PAPER_CASE4, Some(r::XILINX_CASE4)),
-            };
-            FirRow {
-                case,
-                cycles: report.cycles,
-                paper_cycles: paper,
-                xilinx_cycles: xilinx,
-                execution_time: report.execution_time,
-                trace_json: report.trace.to_chrome_json(),
-            }
-        })
-        .collect()
+    pool::run_batch(jobs, &FirCase::all(), |&case| {
+        let prog = generate_fir(FirSpec::default(), case);
+        let report = equeue_core::simulate(&prog.module).expect("simulation");
+        let (paper, xilinx) = match case {
+            FirCase::SingleCore => (r::PAPER_CASE1, Some(r::XILINX_CASE1)),
+            FirCase::Pipelined16 => (r::PAPER_CASE2, None),
+            FirCase::Bandwidth16 => (r::PAPER_CASE3, None),
+            FirCase::Balanced4 => (r::PAPER_CASE4, Some(r::XILINX_CASE4)),
+        };
+        FirRow {
+            case,
+            cycles: report.cycles,
+            paper_cycles: paper,
+            xilinx_cycles: xilinx,
+            execution_time: report.execution_time,
+            trace_json: report.trace.to_chrome_json(),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -584,6 +619,26 @@ mod tests {
             );
             // Cycles are proportional to loop iterations (Fig. 12c–e).
             assert!(r.cycles as usize >= r.loop_iterations);
+        }
+    }
+
+    #[test]
+    fn sweep_points_identical_at_any_job_count() {
+        // A slice of the sweep, sequential vs pooled: same rows, same order,
+        // same determinism counters.
+        let configs: Vec<Fig12Config> = fig12_configs(false).into_iter().take(12).collect();
+        let point = |&(ah, hw, f, c, n, df): &Fig12Config| fig12_point(ah, hw, f, c, n, df);
+        let seq: Vec<Fig12Row> = configs.iter().map(point).collect();
+        let par = pool::run_batch(4, &configs, point);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(
+                (s.ah, s.hw, s.f, s.c, s.n, s.dataflow),
+                (p.ah, p.hw, p.f, p.c, p.n, p.dataflow)
+            );
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.events_processed, p.events_processed);
+            assert_eq!(s.ops_interpreted, p.ops_interpreted);
         }
     }
 

@@ -1,0 +1,163 @@
+//! A dependency-free std-thread worker pool for embarrassingly parallel
+//! batches.
+//!
+//! The Fig. 12 design-space sweep runs hundreds of *independent*
+//! simulations; with [`crate::run_quiet`] dominating wall-clock, sharding
+//! them across cores is the standard bulk-synchronous route to sweep
+//! throughput (cf. Manticore, GSIM). The workspace carries zero external
+//! dependencies, so instead of rayon this module provides one primitive:
+//! [`run_batch`], a scoped thread pool pulling work items off a shared
+//! atomic index.
+//!
+//! Determinism: results are stored by input index, so the output order — and
+//! therefore every aggregate computed from it — is identical at any job
+//! count, including `jobs == 1` (which short-circuits to a plain sequential
+//! loop on the caller's thread). Only wall-clock changes with `jobs`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism (the `--jobs` default); 1 when the
+/// runtime cannot tell.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a requested job count: `0` means "use [`default_jobs`]" — the
+/// convention the `--jobs` flags use for "not specified".
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        default_jobs()
+    } else {
+        requested
+    }
+}
+
+/// Parses the value token following a `--jobs` flag for the bench binaries
+/// (`program` names the binary in the diagnostic). **Exits the process with
+/// status 2** on a missing or malformed value — CLI-argument handling, not
+/// for library use.
+pub fn parse_jobs_arg(program: &str, value: Option<String>) -> usize {
+    let v = value.unwrap_or_default();
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{program}: --jobs needs a number, got '{v}'");
+        std::process::exit(2);
+    })
+}
+
+/// Applies `f` to every item on a pool of `jobs` worker threads
+/// (`jobs == 0` → [`default_jobs`]), returning the results **in input
+/// order**.
+///
+/// Work is distributed dynamically: each worker claims the next unclaimed
+/// index from a shared atomic counter, so long-running items (large sweep
+/// points) do not stall a statically assigned shard. `f` must be freely
+/// callable from several threads at once — which [`equeue_core`] guarantees
+/// for simulation, since a [`equeue_core::CompiledModule`] and everything
+/// else a run reads are `Send + Sync` and all mutable state is per-run.
+///
+/// A panic in `f` propagates to the caller once the remaining workers have
+/// drained (std scoped-thread semantics).
+///
+/// # Examples
+///
+/// ```
+/// let squares = equeue_bench::pool::run_batch(4, &[1u64, 2, 3, 4, 5], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn run_batch<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // One slot per item: workers write results home by index, so no
+    // cross-thread contention beyond the claim counter and the final
+    // collection preserves input order.
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break;
+                };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool left a slot unfilled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order_at_any_job_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                run_batch(jobs, &items, |&x| x * 3 + 1),
+                expect,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        assert_eq!(resolve_jobs(0), default_jobs());
+        assert_eq!(resolve_jobs(3), 3);
+        assert!(default_jobs() >= 1);
+        assert_eq!(run_batch(0, &[1, 2, 3], |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(run_batch(8, &empty, |&x| x), Vec::<u32>::new());
+        assert_eq!(run_batch(8, &[42], |&x| x), vec![42]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_processes_each_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_batch(16, &[10, 20, 30], |&x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn workers_cover_all_indices_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        let n = 200;
+        let items: Vec<usize> = (0..n).collect();
+        run_batch(4, &items, |&i| {
+            assert!(seen.lock().unwrap().insert(i), "index {i} claimed twice");
+        });
+        assert_eq!(seen.lock().unwrap().len(), n);
+    }
+}

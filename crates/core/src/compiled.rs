@@ -1,0 +1,267 @@
+//! Compile-once / run-many simulation: [`CompiledModule`].
+//!
+//! [`crate::simulate_with`] re-runs the layout prepass ([§ hot-path
+//! architecture](crate)) on every call. That is the right trade-off for a
+//! single simulation, but design-space exploration sweeps re-simulate the
+//! same module under different options (and batched sweeps run many
+//! independent simulations from a thread pool). `CompiledModule` splits
+//! compilation from execution so the prepass is paid once:
+//!
+//! * **compile** — [`CompiledModule::compile`] runs the prepass and captures
+//!   `(Module, SimLibrary, Plan)` in one immutable handle.
+//! * **run** — [`CompiledModule::simulate`] executes the pre-built plan.
+//!   Every run constructs its own engine (machine, signal table, processor
+//!   runtimes, frames), so repeated — and *concurrent* — runs are
+//!   independent and bit-identical to fresh [`crate::simulate_with`] calls.
+//!
+//! The handle is `Send + Sync` (statically asserted below): share one
+//! `CompiledModule` across a worker pool by reference and call
+//! [`CompiledModule::simulate`] from each thread.
+
+use crate::engine::{run_with_plan, Plan, SimError, SimOptions};
+use crate::library::SimLibrary;
+use crate::profile::SimReport;
+use equeue_ir::Module;
+use std::time::Instant;
+
+/// A module compiled for repeated simulation: the layout prepass ([`Plan`])
+/// is built once and reused by every [`CompiledModule::simulate`] call.
+///
+/// # Examples
+///
+/// Compile once, simulate twice (identical reports, one prepass):
+///
+/// ```
+/// use equeue_ir::{Module, OpBuilder};
+/// use equeue_dialect::{EqueueBuilder, kinds};
+/// use equeue_core::{CompiledModule, SimLibrary, SimOptions};
+///
+/// let mut m = Module::new();
+/// let blk = m.top_block();
+/// let mut b = OpBuilder::at_end(&mut m, blk);
+/// let pe = b.create_proc(kinds::MAC);
+/// let start = b.control_start();
+/// let launch = b.launch(start, pe, &[], vec![]);
+/// let mut body = OpBuilder::at_end(b.module_mut(), launch.body);
+/// body.ext_op("mac", vec![], vec![]);
+/// body.ret(vec![]);
+/// let done = launch.done;
+/// let mut b = OpBuilder::at_end(&mut m, blk);
+/// b.await_all(vec![done]);
+///
+/// let compiled = CompiledModule::compile(m, SimLibrary::standard());
+/// let opts = SimOptions::default();
+/// let first = compiled.simulate(&opts)?;
+/// let second = compiled.simulate(&opts)?;
+/// assert_eq!(first.cycles, second.cycles);
+/// # Ok::<(), equeue_core::SimError>(())
+/// ```
+///
+/// Shared across threads (the handle is `Send + Sync`; all mutable state is
+/// per-run):
+///
+/// ```
+/// # use equeue_ir::{Module, OpBuilder};
+/// # use equeue_dialect::{EqueueBuilder, kinds};
+/// # use equeue_core::{CompiledModule, SimLibrary, SimOptions};
+/// # let mut m = Module::new();
+/// # let blk = m.top_block();
+/// # let mut b = OpBuilder::at_end(&mut m, blk);
+/// # let pe = b.create_proc(kinds::MAC);
+/// # let start = b.control_start();
+/// # let launch = b.launch(start, pe, &[], vec![]);
+/// # let mut body = OpBuilder::at_end(b.module_mut(), launch.body);
+/// # body.ext_op("mac", vec![], vec![]);
+/// # body.ret(vec![]);
+/// # let done = launch.done;
+/// # let mut b = OpBuilder::at_end(&mut m, blk);
+/// # b.await_all(vec![done]);
+/// let compiled = CompiledModule::compile(m, SimLibrary::standard());
+/// let cycles: Vec<u64> = std::thread::scope(|s| {
+///     let handles: Vec<_> = (0..4)
+///         .map(|_| s.spawn(|| compiled.simulate(&SimOptions::default()).unwrap().cycles))
+///         .collect();
+///     handles.into_iter().map(|h| h.join().unwrap()).collect()
+/// });
+/// assert!(cycles.windows(2).all(|w| w[0] == w[1]));
+/// ```
+#[derive(Debug)]
+pub struct CompiledModule {
+    module: Module,
+    library: SimLibrary,
+    plan: Plan,
+}
+
+impl CompiledModule {
+    /// Runs the layout prepass on `module` against `library` and captures
+    /// both. Infallible, like the prepass itself: malformed ops are decoded
+    /// to poison values that only raise an error if a simulation actually
+    /// executes them.
+    pub fn compile(module: Module, library: SimLibrary) -> Self {
+        let plan = Plan::build(&module, &library);
+        CompiledModule {
+            module,
+            library,
+            plan,
+        }
+    }
+
+    /// Compiles with the standard library ([`SimLibrary::standard`]).
+    pub fn compile_standard(module: Module) -> Self {
+        Self::compile(module, SimLibrary::standard())
+    }
+
+    /// Simulates the compiled module. Equivalent to
+    /// [`crate::simulate_with`] on the captured module and library — same
+    /// cycles, events, and interpreted-op counts — minus the per-call
+    /// prepass. Takes `&self`: callable repeatedly and from multiple
+    /// threads at once.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn simulate(&self, options: &SimOptions) -> Result<SimReport, SimError> {
+        run_with_plan(
+            &self.module,
+            &self.plan,
+            &self.library,
+            options,
+            Instant::now(),
+        )
+    }
+
+    /// The compiled module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The captured simulator library.
+    pub fn library(&self) -> &SimLibrary {
+        &self.library
+    }
+
+    /// Releases the handle, returning the module (e.g. to mutate and
+    /// recompile).
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+}
+
+// Concurrency audit, enforced at compile time: the shared, read-only side of
+// a simulation — the IR, the pre-decoded plan (op table, scope layouts,
+// capture maps), and the library — must be `Send + Sync` so one
+// `CompiledModule` can back a thread pool. All mutable state (machine,
+// signals, frames, processor runtimes) lives in the per-run engine.
+const _: () = {
+    const fn _send_sync<T: Send + Sync>() {}
+    _send_sync::<CompiledModule>();
+    _send_sync::<Module>();
+    _send_sync::<Plan>();
+    _send_sync::<SimLibrary>();
+    _send_sync::<SimOptions>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use equeue_dialect::{kinds, EqueueBuilder};
+    use equeue_ir::OpBuilder;
+
+    fn chain_module(n: usize) -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let pe = b.create_proc(kinds::MAC);
+        let mut dep = b.control_start();
+        for _ in 0..n {
+            let l = b.launch(dep, pe, &[], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                ib.ext_op("mac", vec![], vec![]);
+                ib.ret(vec![]);
+            }
+            dep = l.done;
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        b.await_all(vec![dep]);
+        m
+    }
+
+    #[test]
+    fn repeated_runs_match_fresh_simulation() {
+        let m = chain_module(10);
+        let opts = SimOptions {
+            trace: false,
+            ..Default::default()
+        };
+        let fresh = crate::simulate_with(&m, &SimLibrary::standard(), &opts).unwrap();
+        let compiled = CompiledModule::compile(m, SimLibrary::standard());
+        for _ in 0..3 {
+            let r = compiled.simulate(&opts).unwrap();
+            assert_eq!(r.cycles, fresh.cycles);
+            assert_eq!(r.events_processed, fresh.events_processed);
+            assert_eq!(r.ops_interpreted, fresh.ops_interpreted);
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_are_bit_identical() {
+        let compiled = CompiledModule::compile_standard(chain_module(20));
+        let opts = SimOptions::default();
+        let baseline = compiled.simulate(&opts).unwrap();
+        let results: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let r = compiled.simulate(&opts).unwrap();
+                        (r.cycles, r.events_processed, r.ops_interpreted)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (cycles, events, ops) in results {
+            assert_eq!(cycles, baseline.cycles);
+            assert_eq!(events, baseline.events_processed);
+            assert_eq!(ops, baseline.ops_interpreted);
+        }
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let m = chain_module(2);
+        let n_ops = m.num_ops();
+        let compiled = CompiledModule::compile_standard(m);
+        assert_eq!(compiled.module().num_ops(), n_ops);
+        assert_eq!(compiled.library().ext_op("mac").unwrap().cycles, 1);
+        let back = compiled.into_module();
+        assert_eq!(back.num_ops(), n_ops);
+    }
+
+    #[test]
+    fn per_run_options_respected() {
+        // One compile, different options per run: tracing on/off must not
+        // change timing, and a tiny wake budget must fail only that run.
+        let compiled = CompiledModule::compile_standard(chain_module(10));
+        let loud = compiled.simulate(&SimOptions::default()).unwrap();
+        let quiet = compiled
+            .simulate(&SimOptions {
+                trace: false,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(loud.cycles, quiet.cycles);
+        assert!(!loud.trace.is_empty());
+        assert!(quiet.trace.is_empty());
+        let starved = compiled.simulate(&SimOptions {
+            trace: false,
+            max_wakes: 2,
+        });
+        assert!(matches!(starved, Err(SimError::Limit(_))));
+        // The handle is unharmed by the failed run.
+        assert_eq!(
+            compiled.simulate(&SimOptions::default()).unwrap().cycles,
+            loud.cycles
+        );
+    }
+}

@@ -153,7 +153,21 @@ pub fn simulate_with(
 ) -> Result<SimReport, SimError> {
     let start = Instant::now();
     let plan = Plan::build(module, library);
-    let mut engine = Engine::new(module, &plan, library, options);
+    run_with_plan(module, &plan, library, options, start)
+}
+
+/// Executes a module against an already-built [`Plan`]: the compile-once /
+/// run-many entry point behind [`crate::CompiledModule`]. All mutable state
+/// lives in the per-run [`Engine`]; `module`, `plan`, and `library` are only
+/// read, so concurrent runs over one plan are safe.
+pub(crate) fn run_with_plan(
+    module: &Module,
+    plan: &Plan,
+    library: &SimLibrary,
+    options: &SimOptions,
+    start: Instant,
+) -> Result<SimReport, SimError> {
+    let mut engine = Engine::new(module, plan, library, options);
     engine.run()?;
     let mut report = SimReport {
         cycles: engine.horizon,
@@ -376,9 +390,11 @@ struct ScopeLayout {
     values: Vec<ValueId>,
 }
 
-/// The prepass output: scope layouts plus a per-op side table.
+/// The prepass output: scope layouts plus a per-op side table. Immutable
+/// once built — a plan can back any number of simulations, sequentially or
+/// from several threads at once (see [`crate::CompiledModule`]).
 #[derive(Debug)]
-struct Plan {
+pub(crate) struct Plan {
     scopes: Vec<ScopeLayout>,
     /// Indexed by `OpId::index()`.
     ops: Vec<OpInfo>,
@@ -401,7 +417,7 @@ impl Plan {
     /// The one-shot layout prepass. Infallible: malformed ops decode to
     /// [`OpCode::Invalid`] and only fail if executed. Linear in the module
     /// size (dense arrays indexed by value id, no per-event work).
-    fn build(module: &Module, lib: &SimLibrary) -> Plan {
+    pub(crate) fn build(module: &Module, lib: &SimLibrary) -> Plan {
         // -- 1. Scope discovery: the top region plus every launch body.
         let mut tmp: Vec<ScopeTmp> = vec![ScopeTmp {
             root: module.top_region(),
@@ -1274,22 +1290,20 @@ impl<'m> Engine<'m> {
                 "memcpy size mismatch: src {elems} elems, dst {dst_elems} elems"
             )));
         }
-        let banks_src = self.machine.memory(src_mem).banks;
-        let rd_cycles = self.machine.memory_mut(src_mem).behavior.access_cycles(
+        let (_, rd_end, _) = self.machine.memory_mut(src_mem).access(
             AccessKind::Read,
             src_addr,
             elems,
-            banks_src,
+            bytes,
+            start,
         );
-        let banks_dst = self.machine.memory(dst_mem).banks;
-        let wr_cycles = self.machine.memory_mut(dst_mem).behavior.access_cycles(
+        let (_, wr_end, _) = self.machine.memory_mut(dst_mem).access(
             AccessKind::Write,
             dst_addr,
             elems,
-            banks_dst,
+            bytes,
+            start,
         );
-        let (_, rd_end) = self.machine.memory_mut(src_mem).reserve(start, rd_cycles);
-        let (_, wr_end) = self.machine.memory_mut(dst_mem).reserve(start, wr_cycles);
         let mut end = rd_end.max(wr_end);
         if let Some(c) = conn {
             let (_, c_end) = self
@@ -1302,12 +1316,6 @@ impl<'m> Engine<'m> {
                     .reserve(AccessKind::Write, start, bytes);
             end = end.max(c_end).max(c_end2);
         }
-        self.machine
-            .memory_mut(src_mem)
-            .count(AccessKind::Read, bytes);
-        self.machine
-            .memory_mut(dst_mem)
-            .count(AccessKind::Write, bytes);
         // Move the data (an Arc bump under copy-on-write).
         let data = self.machine.buffer(src).data.clone();
         self.machine.buffer_mut(dst).data = data;
@@ -2059,13 +2067,13 @@ impl<'m> Engine<'m> {
         let elems = if indices.is_empty() { total_elems } else { 1 };
         let bytes = (elems * elem_bytes) as u64;
         let addr = base_addr + flat.unwrap_or(0);
-        let banks = self.machine.memory(mem).banks;
-        let mem_cycles = self
+        // Fused latency + port reservation + traffic accounting: one
+        // component borrow per access (see [`Memory::access`]); zero-latency
+        // memories skip the port scan.
+        let (mstart, mend, mem_cycles) = self
             .machine
             .memory_mut(mem)
-            .behavior
-            .access_cycles(kind, addr, elems, banks);
-        let (mstart, mend) = self.machine.memory_mut(mem).reserve(start, mem_cycles);
+            .access(kind, addr, elems, bytes, start);
         let mut end = mend;
         let mut astart = if mem_cycles > 0 { mstart } else { start };
         if let Some(c) = conn {
@@ -2076,7 +2084,6 @@ impl<'m> Engine<'m> {
             end = end.max(cend);
             astart = astart.max(cstart.min(end));
         }
-        self.machine.memory_mut(mem).count(kind, bytes);
 
         // Data effect.
         let out = match kind {

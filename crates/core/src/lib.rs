@@ -9,6 +9,11 @@
 //!
 //! * [`simulate`] / [`simulate_with`] — run a module, returning a
 //!   [`SimReport`] with cycles, bandwidth statistics, and a Chrome trace.
+//! * [`CompiledModule`] — compile once, simulate many: runs the layout
+//!   prepass a single time and hands back a `Send + Sync` handle whose
+//!   `simulate(&options)` can be called repeatedly — and concurrently —
+//!   with bit-identical results. The entry point for batched design-space
+//!   sweeps.
 //! * [`SimLibrary`] — the extensible simulator library (§IV-D): external
 //!   op implementations (`"mac4"`, …), processor profiles, and memory
 //!   factories (including the worked [`CacheBehavior`] example).
@@ -82,6 +87,7 @@
 
 #![warn(missing_docs)]
 
+mod compiled;
 mod engine;
 mod interp;
 mod library;
@@ -91,6 +97,7 @@ mod signal;
 mod trace;
 mod value;
 
+pub use compiled::CompiledModule;
 pub use engine::{simulate, simulate_with, SimError, SimOptions};
 pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
 pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};

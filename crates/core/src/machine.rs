@@ -275,6 +275,28 @@ impl Memory {
         (actual, finish)
     }
 
+    /// The fused per-access fast path: computes the model latency, reserves
+    /// a port, and counts traffic under a single borrow. Semantically
+    /// identical to `behavior.access_cycles` + [`Memory::reserve`] +
+    /// [`Memory::count`] called separately, but the engine's inner loop pays
+    /// one component lookup instead of three (zero-cycle accesses — e.g.
+    /// registers — never touch the port queue, via [`Memory::reserve`]'s
+    /// short-circuit). Returns `(actual_start, finish, model_cycles)`.
+    pub fn access(
+        &mut self,
+        kind: AccessKind,
+        addr: usize,
+        elems: usize,
+        bytes: u64,
+        start: u64,
+    ) -> (u64, u64, u64) {
+        let banks = self.banks;
+        let cycles = self.behavior.access_cycles(kind, addr, elems, banks);
+        let (actual, finish) = self.reserve(start, cycles);
+        self.count(kind, bytes);
+        (actual, finish, cycles)
+    }
+
     /// Accounts traffic of `bytes` in the given direction.
     pub fn count(&mut self, kind: AccessKind, bytes: u64) {
         match kind {
