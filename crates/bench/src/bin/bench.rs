@@ -2,7 +2,7 @@
 //! scenarios plus engine-focused microworkloads, and writes
 //! `BENCH_engine.json` so successive PRs have a perf trajectory.
 //!
-//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [<output-path>]]`
+//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [--fault-matrix] [<output-path>]]`
 //! (default output: `BENCH_engine.json` in the current directory).
 //!
 //! * `--jobs N` — worker threads for the sweep scenarios (`fig12_small_sweep`);
@@ -69,7 +69,7 @@ struct Row {
 /// prepass runs outside the timed region, so the row measures execution,
 /// not recompilation.
 fn sim_row(name: &str, iters: u32, module: Module) -> Row {
-    let compiled = CompiledModule::compile(module, SimLibrary::standard());
+    let compiled = CompiledModule::compile(module, SimLibrary::standard()).expect("compile");
     let opts = SimOptions {
         trace: false,
         ..Default::default()
@@ -90,12 +90,14 @@ struct Args {
     jobs: usize,
     filter: Option<String>,
     out_path: String,
+    fault_matrix: bool,
 }
 
 fn parse_args() -> Args {
     let mut jobs = 0; // 0 = available parallelism (pool convention)
     let mut filter = None;
     let mut out_path: Option<String> = None;
+    let mut fault_matrix = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -106,9 +108,10 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            "--fault-matrix" => fault_matrix = true,
             flag if flag.starts_with('-') => {
                 eprintln!(
-                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / <output-path>)"
+                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / --fault-matrix / <output-path>)"
                 );
                 std::process::exit(2);
             }
@@ -135,11 +138,131 @@ fn parse_args() -> Args {
         jobs,
         filter,
         out_path,
+        fault_matrix,
     }
+}
+
+/// The fault-injection harness (`--fault-matrix`): perturbs a scenario
+/// module with each [`equeue_core::fault::Fault`] kind, runs it under tight
+/// [`equeue_core::RunLimits`], and requires every outcome to be a normal
+/// report or a typed `SimError` — a panic anywhere fails the process. Also
+/// checks the differential contract: a zero-fault injected run stays
+/// bit-identical to the golden run.
+fn run_fault_matrix() -> ! {
+    use equeue_core::fault::{apply_faults, Fault};
+    use equeue_core::{simulate_with, RunLimits};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    let golden = run_quiet(&scenarios::matmul_linalg(8));
+
+    // Differential check: zero faults applied → bit-identical counters.
+    let mut unfaulted = scenarios::matmul_linalg(8);
+    assert_eq!(apply_faults(&mut unfaulted, &[]), 0);
+    let again = run_quiet(&unfaulted);
+    assert_eq!(
+        (
+            golden.cycles,
+            golden.events_processed,
+            golden.ops_interpreted
+        ),
+        (again.cycles, again.events_processed, again.ops_interpreted),
+        "zero-fault injected run diverged from golden"
+    );
+    println!(
+        "fault-matrix: zero-fault run bit-identical (cycles {}, events {}, ops {})",
+        golden.cycles, golden.events_processed, golden.ops_interpreted
+    );
+
+    let matrix: Vec<(&str, Vec<Fault>)> = vec![
+        (
+            "rename-op-unknown",
+            vec![Fault::RenameOp {
+                nth: 6,
+                to: "bogus.op".into(),
+            }],
+        ),
+        ("drop-operand", vec![Fault::DropOperand { nth: 2 }]),
+        (
+            "ext-op-huge-latency",
+            vec![Fault::ExtOpCycles {
+                nth: 0,
+                cycles: i64::MAX,
+            }],
+        ),
+        (
+            "corrupt-shape-overflow",
+            vec![Fault::CorruptShape {
+                nth: 0,
+                dims: vec![i64::MAX, i64::MAX],
+            }],
+        ),
+        (
+            "corrupt-shape-negative",
+            vec![Fault::CorruptShape {
+                nth: 0,
+                dims: vec![-4],
+            }],
+        ),
+        ("drop-regions", vec![Fault::DropRegions { nth: 0 }]),
+        ("zero-loop-step", vec![Fault::ZeroLoopStep { nth: 0 }]),
+    ];
+    let limits = RunLimits {
+        max_cycles: 100_000_000,
+        max_events: 10_000_000,
+        wall_deadline: Some(Duration::from_secs(5)),
+        ..Default::default()
+    };
+    let mut failures = 0;
+    for (name, faults) in &matrix {
+        // Perturb a Linalg-level, an affine-loop, and an ext-op-heavy
+        // scenario so each fault kind meets ops it can land on.
+        for (scenario, module) in [
+            ("matmul8_linalg", scenarios::matmul_linalg(8)),
+            ("matmul4_affine", scenarios::matmul_affine(4)),
+            (
+                "fir_single_core",
+                generate_fir(FirSpec::default(), FirCase::SingleCore).module,
+            ),
+        ] {
+            let mut module = module;
+            let applied = apply_faults(&mut module, faults);
+            let opts = equeue_core::SimOptions {
+                trace: false,
+                limits,
+                ..Default::default()
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                simulate_with(&module, equeue_bench::standard_library(), &opts)
+            }));
+            match outcome {
+                Ok(Ok(r)) => println!(
+                    "fault-matrix: {name} on {scenario} (applied {applied}): ran to cycle {}",
+                    r.cycles
+                ),
+                Ok(Err(e)) => println!(
+                    "fault-matrix: {name} on {scenario} (applied {applied}): SimError: {e}"
+                ),
+                Err(_) => {
+                    eprintln!("fault-matrix: {name} on {scenario}: PANICKED");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("fault-matrix: {failures} perturbation(s) panicked");
+        std::process::exit(1);
+    }
+    println!("fault-matrix: all perturbations surfaced as reports or typed SimErrors");
+    std::process::exit(0);
 }
 
 fn main() {
     let args = parse_args();
+    if args.fault_matrix {
+        run_fault_matrix();
+    }
     let enabled = |name: &str| -> bool { args.filter.as_deref().is_none_or(|f| name.contains(f)) };
     println!(
         "bench: jobs = {} ({} requested){}",

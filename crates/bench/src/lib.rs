@@ -15,12 +15,15 @@
 
 pub mod pool;
 
-use equeue_core::{simulate_with, SimLibrary, SimOptions, SimReport};
+use equeue_core::{
+    simulate_with, CancelToken, RunLimits, SimError, SimLibrary, SimOptions, SimReport,
+};
 use equeue_dialect::ConvDims;
 use equeue_gen::{
     build_stage_program, generate_fir, generate_systolic, FirCase, FirSpec, Stage, SystolicSpec,
 };
 use equeue_passes::Dataflow;
+use pool::PointStatus;
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -288,6 +291,29 @@ pub fn fig12_configs(full: bool) -> Vec<Fig12Config> {
 
 /// Runs one sweep point.
 pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataflow) -> Fig12Row {
+    let opts = SimOptions {
+        trace: false,
+        ..Default::default()
+    };
+    try_fig12_point(ah, hw, f, c, n, df, &opts).expect("simulation")
+}
+
+/// Runs one sweep point under explicit [`SimOptions`] (limits, cancel
+/// token), surfacing failures as typed [`SimError`]s instead of panicking.
+///
+/// # Errors
+///
+/// Whatever the underlying simulation returns — including
+/// [`SimError::Limit`] and [`SimError::Cancelled`].
+pub fn try_fig12_point(
+    ah: usize,
+    hw: usize,
+    f: usize,
+    c: usize,
+    n: usize,
+    df: Dataflow,
+    options: &SimOptions,
+) -> Result<Fig12Row, SimError> {
     let aw = 64 / ah;
     let dims = ConvDims {
         h: hw,
@@ -303,7 +329,7 @@ pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataf
         dataflow: df,
     };
     let prog = generate_systolic(&spec, dims);
-    let report = run_quiet(&prog.module);
+    let report = simulate_with(&prog.module, standard_library(), options)?;
     let ss = scalesim::scale_sim(
         scalesim::ArrayShape { rows: ah, cols: aw },
         to_conv_shape(dims),
@@ -315,7 +341,7 @@ pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataf
         .get(1)
         .map(|cr| cr.write.max_bw * cr.write.max_bw_portion)
         .unwrap_or(0.0);
-    Fig12Row {
+    Ok(Fig12Row {
         ah,
         hw,
         f,
@@ -329,7 +355,7 @@ pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataf
         loop_iterations: prog.loop_iterations(),
         events_processed: report.events_processed,
         ops_interpreted: report.ops_interpreted,
-    }
+    })
 }
 
 /// Runs the whole sweep on the default worker-pool width (all cores).
@@ -345,6 +371,36 @@ pub fn fig12_sweep_jobs(full: bool, jobs: usize) -> Vec<Fig12Row> {
     let configs = fig12_configs(full);
     pool::run_batch(jobs, &configs, |&(ah, hw, f, c, n, df)| {
         fig12_point(ah, hw, f, c, n, df)
+    })
+}
+
+/// Runs the sweep under per-point [`RunLimits`] and a shared
+/// [`CancelToken`]: the token is threaded both into the pool (workers stop
+/// claiming points once cancelled) and into every engine run (an in-flight
+/// point stops within one scheduler epoch). Returns one well-formed
+/// [`PointStatus`] per configuration, in configuration order — completed
+/// points keep their rows, cancelled points report
+/// [`PointStatus::Cancelled`], and any other failure (limit hit, malformed
+/// module, worker panic) becomes [`PointStatus::Failed`] with the typed
+/// error's message.
+pub fn fig12_sweep_cancellable(
+    full: bool,
+    jobs: usize,
+    limits: RunLimits,
+    cancel: &CancelToken,
+) -> Vec<PointStatus<Fig12Row>> {
+    let configs = fig12_configs(full);
+    pool::run_batch_status(jobs, &configs, Some(cancel), |&(ah, hw, f, c, n, df)| {
+        let opts = SimOptions {
+            trace: false,
+            limits,
+            cancel: Some(cancel.clone()),
+        };
+        match try_fig12_point(ah, hw, f, c, n, df, &opts) {
+            Ok(row) => PointStatus::Done(row),
+            Err(SimError::Cancelled(_)) => PointStatus::Cancelled,
+            Err(e) => PointStatus::Failed(e.to_string()),
+        }
     })
 }
 
@@ -640,6 +696,33 @@ mod tests {
             assert_eq!(s.events_processed, p.events_processed);
             assert_eq!(s.ops_interpreted, p.ops_interpreted);
         }
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_per_point_statuses() {
+        // Pre-cancelled: the pool never claims a point; every status is
+        // well-formed Cancelled and nothing simulates.
+        let token = CancelToken::new();
+        token.cancel();
+        let st = fig12_sweep_cancellable(false, 2, RunLimits::default(), &token);
+        assert_eq!(st.len(), fig12_configs(false).len());
+        assert!(st.iter().all(|s| matches!(s, PointStatus::Cancelled)));
+    }
+
+    #[test]
+    fn starved_sweep_fails_per_point_without_panicking() {
+        // An absurd event budget: every point stops with a typed limit
+        // error, surfaced per point — the batch itself never dies.
+        let token = CancelToken::new();
+        let limits = RunLimits {
+            max_events: 1,
+            ..Default::default()
+        };
+        let st = fig12_sweep_cancellable(false, 2, limits, &token);
+        assert_eq!(st.len(), fig12_configs(false).len());
+        assert!(st
+            .iter()
+            .all(|s| matches!(s, PointStatus::Failed(m) if m.contains("event limit"))));
     }
 
     #[test]

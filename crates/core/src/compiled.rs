@@ -49,7 +49,7 @@ use std::time::Instant;
 /// let mut b = OpBuilder::at_end(&mut m, blk);
 /// b.await_all(vec![done]);
 ///
-/// let compiled = CompiledModule::compile(m, SimLibrary::standard());
+/// let compiled = CompiledModule::compile(m, SimLibrary::standard())?;
 /// let opts = SimOptions::default();
 /// let first = compiled.simulate(&opts)?;
 /// let second = compiled.simulate(&opts)?;
@@ -76,7 +76,7 @@ use std::time::Instant;
 /// # let done = launch.done;
 /// # let mut b = OpBuilder::at_end(&mut m, blk);
 /// # b.await_all(vec![done]);
-/// let compiled = CompiledModule::compile(m, SimLibrary::standard());
+/// let compiled = CompiledModule::compile(m, SimLibrary::standard()).unwrap();
 /// let cycles: Vec<u64> = std::thread::scope(|s| {
 ///     let handles: Vec<_> = (0..4)
 ///         .map(|_| s.spawn(|| compiled.simulate(&SimOptions::default()).unwrap().cycles))
@@ -94,21 +94,49 @@ pub struct CompiledModule {
 
 impl CompiledModule {
     /// Runs the layout prepass on `module` against `library` and captures
-    /// both. Infallible, like the prepass itself: malformed ops are decoded
-    /// to poison values that only raise an error if a simulation actually
-    /// executes them.
-    pub fn compile(module: Module, library: SimLibrary) -> Self {
+    /// both. Strict: a structurally-malformed op anywhere in the module —
+    /// even dead code — is reported here as [`SimError::Layout`] instead of
+    /// at execution time. (The one-shot [`crate::simulate_with`] path keeps
+    /// the historical lazy semantics: malformed ops only fail if executed.)
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Layout`] naming the first malformed op.
+    pub fn compile(module: Module, library: SimLibrary) -> Result<Self, SimError> {
         let plan = Plan::build(&module, &library);
-        CompiledModule {
+        if let Some((op, msg)) = plan.first_invalid() {
+            return Err(SimError::Layout {
+                op: op.to_string(),
+                msg: msg.to_string(),
+            });
+        }
+        Ok(CompiledModule {
             module,
             library,
             plan,
-        }
+        })
     }
 
     /// Compiles with the standard library ([`SimLibrary::standard`]).
-    pub fn compile_standard(module: Module) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledModule::compile`].
+    pub fn compile_standard(module: Module) -> Result<Self, SimError> {
         Self::compile(module, SimLibrary::standard())
+    }
+
+    /// Parses IR text and compiles it: the full `parse → compile` front
+    /// half of the pipeline with every failure surfaced as a typed
+    /// [`SimError`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Parse`] with 1-based line/column context when the text
+    /// is rejected, otherwise see [`CompiledModule::compile`].
+    pub fn compile_text(text: &str, library: SimLibrary) -> Result<Self, SimError> {
+        let module = equeue_ir::parse_module(text)?;
+        Self::compile(module, library)
     }
 
     /// Simulates the compiled module. Equivalent to
@@ -159,6 +187,9 @@ const _: () = {
     _send_sync::<Plan>();
     _send_sync::<SimLibrary>();
     _send_sync::<SimOptions>();
+    _send_sync::<crate::CancelToken>();
+    _send_sync::<crate::RunLimits>();
+    _send_sync::<SimError>();
 };
 
 #[cfg(test)]
@@ -195,7 +226,7 @@ mod tests {
             ..Default::default()
         };
         let fresh = crate::simulate_with(&m, &SimLibrary::standard(), &opts).unwrap();
-        let compiled = CompiledModule::compile(m, SimLibrary::standard());
+        let compiled = CompiledModule::compile(m, SimLibrary::standard()).unwrap();
         for _ in 0..3 {
             let r = compiled.simulate(&opts).unwrap();
             assert_eq!(r.cycles, fresh.cycles);
@@ -206,7 +237,7 @@ mod tests {
 
     #[test]
     fn concurrent_runs_are_bit_identical() {
-        let compiled = CompiledModule::compile_standard(chain_module(20));
+        let compiled = CompiledModule::compile_standard(chain_module(20)).unwrap();
         let opts = SimOptions::default();
         let baseline = compiled.simulate(&opts).unwrap();
         let results: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
@@ -231,7 +262,7 @@ mod tests {
     fn accessors_round_trip() {
         let m = chain_module(2);
         let n_ops = m.num_ops();
-        let compiled = CompiledModule::compile_standard(m);
+        let compiled = CompiledModule::compile_standard(m).unwrap();
         assert_eq!(compiled.module().num_ops(), n_ops);
         assert_eq!(compiled.library().ext_op("mac").unwrap().cycles, 1);
         let back = compiled.into_module();
@@ -242,7 +273,7 @@ mod tests {
     fn per_run_options_respected() {
         // One compile, different options per run: tracing on/off must not
         // change timing, and a tiny wake budget must fail only that run.
-        let compiled = CompiledModule::compile_standard(chain_module(10));
+        let compiled = CompiledModule::compile_standard(chain_module(10)).unwrap();
         let loud = compiled.simulate(&SimOptions::default()).unwrap();
         let quiet = compiled
             .simulate(&SimOptions {
@@ -255,7 +286,11 @@ mod tests {
         assert!(quiet.trace.is_empty());
         let starved = compiled.simulate(&SimOptions {
             trace: false,
-            max_wakes: 2,
+            limits: crate::RunLimits {
+                max_events: 2,
+                ..Default::default()
+            },
+            ..Default::default()
         });
         assert!(matches!(starved, Err(SimError::Limit(_))));
         // The handle is unharmed by the failed run.

@@ -44,6 +44,7 @@
 //!   pairs. Spawning an event copies just those — with copy-on-write
 //!   tensors ([`crate::TensorData`]), each copy is a pointer bump.
 
+use crate::error::{LimitExceeded, LimitKind, Progress};
 use crate::interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int, BinOp};
 use crate::library::{MemSpec, SimLibrary};
 use crate::machine::{AccessKind, Machine, ProcProfile, RegisterBehavior};
@@ -51,42 +52,22 @@ use crate::profile::SimReport;
 use crate::signal::SignalTable;
 use crate::trace::{Trace, TraceCat};
 use crate::value::{BufId, CompId, SignalId, SimValue, Tensor, TensorData};
+pub use crate::{CancelToken, RunLimits, SimError};
 use equeue_dialect::{
     conv2d_dims, launch_view, memcpy_view, read_view, write_view, ConnKind, ConvDims,
 };
 use equeue_ir::{AttrMap, BlockId, Module, OpId, RegionId, Type, ValueId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::error::Error;
-use std::fmt;
 use std::time::Instant;
 
-/// Errors raised during simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// The program cannot make progress: events remain whose dependencies
-    /// can never resolve.
-    Deadlock(String),
-    /// An op or value combination the engine does not model.
-    Unsupported(String),
-    /// A runtime fault (allocation overflow, bad component lookup, …).
-    Runtime(String),
-    /// A configured safety limit was exceeded.
-    Limit(String),
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Deadlock(m) => write!(f, "simulation deadlock: {m}"),
-            SimError::Unsupported(m) => write!(f, "unsupported: {m}"),
-            SimError::Runtime(m) => write!(f, "runtime error: {m}"),
-            SimError::Limit(m) => write!(f, "limit exceeded: {m}"),
-        }
-    }
-}
-
-impl Error for SimError {}
+/// Scheduler wakes per epoch: the cadence at which the engine polls the
+/// cancel token and the wall-clock deadline (a power of two, so the check is
+/// a mask). Cancellation latency is bounded by one epoch.
+const WAKE_EPOCH: u64 = 1024;
+/// Interpreted-op cadence for the same polls, bounding zero-time op bursts
+/// (tight loops that never touch the scheduler heap).
+const OP_EPOCH: u64 = 4096;
 
 /// Simulation options.
 #[derive(Debug, Clone)]
@@ -95,15 +76,20 @@ pub struct SimOptions {
     /// When off, the engine skips all trace bookkeeping — no event
     /// allocation and no string formatting on the hot path.
     pub trace: bool,
-    /// Upper bound on scheduler wakes (guards against runaway programs).
-    pub max_wakes: u64,
+    /// Resource budgets for this run (cycles, events, live tensor bytes,
+    /// wall clock). Violations surface as [`SimError::Limit`].
+    pub limits: RunLimits,
+    /// Cooperative cancellation: when the token fires, the run stops within
+    /// one epoch with [`SimError::Cancelled`] carrying partial statistics.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             trace: true,
-            max_wakes: 500_000_000,
+            limits: RunLimits::default(),
+            cancel: None,
         }
     }
 }
@@ -167,7 +153,7 @@ pub(crate) fn run_with_plan(
     options: &SimOptions,
     start: Instant,
 ) -> Result<SimReport, SimError> {
-    let mut engine = Engine::new(module, plan, library, options);
+    let mut engine = Engine::new(module, plan, library, options, start);
     engine.run()?;
     let mut report = SimReport {
         cycles: engine.horizon,
@@ -366,8 +352,12 @@ enum OpCode {
     },
     // ---- failures, deferred to execution time ----
     /// The op failed to decode (malformed views/attrs, or an operand with
-    /// no materialisable definition). Raises `Runtime` if executed.
-    Invalid(String),
+    /// no materialisable definition). Raises [`SimError::Layout`] if
+    /// executed.
+    Invalid {
+        op: String,
+        msg: String,
+    },
     /// An op name the engine does not model. Raises `Unsupported` if
     /// executed.
     Unsupported(String),
@@ -414,6 +404,17 @@ struct ScopeTmp {
 }
 
 impl Plan {
+    /// The first structurally-invalid decoded op, if any: `(name, message)`.
+    /// Used by [`crate::CompiledModule::compile`] to reject malformed
+    /// modules eagerly; the lazy [`crate::simulate_with`] path never calls
+    /// it.
+    pub(crate) fn first_invalid(&self) -> Option<(&str, &str)> {
+        self.ops.iter().find_map(|info| match &info.code {
+            OpCode::Invalid { op, msg } => Some((op.as_str(), msg.as_str())),
+            _ => None,
+        })
+    }
+
     /// The one-shot layout prepass. Infallible: malformed ops decode to
     /// [`OpCode::Invalid`] and only fail if executed. Linear in the module
     /// size (dense arrays indexed by value id, no per-event work).
@@ -603,7 +604,10 @@ fn decode_op(
         Ok(r) => r,
         Err(e) => {
             return OpInfo {
-                code: OpCode::Invalid(e),
+                code: OpCode::Invalid {
+                    op: data.name.clone(),
+                    msg: e,
+                },
                 results: vec![],
             }
         }
@@ -735,8 +739,9 @@ fn decode_op(
             }
             "equeue.launch" => {
                 let view = launch_view(module, op).map_err(|e| format!("{e} (launch op)"))?;
+                let body_region = data.regions.first().ok_or("launch needs a body region")?;
                 let child = *scope_of_root
-                    .get(&data.regions[0])
+                    .get(body_region)
                     .ok_or("launch body region is not a scope")?;
                 let child_slot = |v: ValueId| -> Result<Slot, String> {
                     scopes[child]
@@ -804,10 +809,16 @@ fn decode_op(
                     .args
                     .first()
                     .ok_or("affine.for body needs an iv")?;
+                let step = data.attrs.int("step").unwrap_or(1);
+                // A non-positive step can never reach the upper bound; it
+                // would spin the interpreter forever, so reject it here.
+                if step <= 0 {
+                    return Err(format!("affine.for step must be positive, got {step}"));
+                }
                 OpCode::For {
                     lower: data.attrs.int("lower").unwrap_or(0),
                     upper: data.attrs.int("upper").unwrap_or(0),
-                    step: data.attrs.int("step").unwrap_or(1),
+                    step,
                     body,
                     iv: slot(iv)?,
                 }
@@ -822,12 +833,33 @@ fn decode_op(
                     .blocks
                     .first()
                     .ok_or("affine.parallel empty region")?;
+                let lowers = data.attrs.int_array("lowers").unwrap_or(&[]).to_vec();
+                let uppers = data.attrs.int_array("uppers").unwrap_or(&[]).to_vec();
+                let steps = data.attrs.int_array("steps").unwrap_or(&[]).to_vec();
+                let ivs = slots_of(&module.block(body).args.clone())?;
+                // Mismatched bound arrays would index out of range during
+                // iteration; non-positive steps would never terminate.
+                if lowers.len() != uppers.len()
+                    || lowers.len() != steps.len()
+                    || lowers.len() != ivs.len()
+                {
+                    return Err(format!(
+                        "affine.parallel bounds mismatch: {} lowers, {} uppers, {} steps, {} ivs",
+                        lowers.len(),
+                        uppers.len(),
+                        steps.len(),
+                        ivs.len()
+                    ));
+                }
+                if let Some(s) = steps.iter().find(|&&s| s <= 0) {
+                    return Err(format!("affine.parallel step must be positive, got {s}"));
+                }
                 OpCode::Parallel {
-                    lowers: data.attrs.int_array("lowers").unwrap_or(&[]).to_vec(),
-                    uppers: data.attrs.int_array("uppers").unwrap_or(&[]).to_vec(),
-                    steps: data.attrs.int_array("steps").unwrap_or(&[]).to_vec(),
+                    lowers,
+                    uppers,
+                    steps,
                     body,
-                    ivs: slots_of(&module.block(body).args.clone())?,
+                    ivs,
                 }
             }
             "affine.yield" => OpCode::Yield,
@@ -886,7 +918,10 @@ fn decode_op(
     match code {
         Ok(code) => OpInfo { code, results },
         Err(e) => OpInfo {
-            code: OpCode::Invalid(e),
+            code: OpCode::Invalid {
+                op: data.name.clone(),
+                msg: e,
+            },
             results,
         },
     }
@@ -929,6 +964,7 @@ struct LoopState {
 
 impl LoopState {
     /// Advances the innermost dimension; returns `false` when exhausted.
+    /// Saturating: bounds near `i64::MAX` terminate instead of overflowing.
     fn advance(&mut self) -> bool {
         let mut d = self.current.len();
         loop {
@@ -936,7 +972,7 @@ impl LoopState {
                 return false;
             }
             d -= 1;
-            self.current[d] += self.steps[d];
+            self.current[d] = self.current[d].saturating_add(self.steps[d]);
             if self.current[d] < self.uppers[d] {
                 for later in d + 1..self.current.len() {
                     self.current[later] = self.lowers[later];
@@ -1065,12 +1101,28 @@ struct Engine<'m> {
     horizon: u64,
     wakes: u64,
     ops_interpreted: u64,
+    /// Bytes of simultaneously-live tensor storage (for
+    /// `max_live_tensor_bytes`).
+    live_tensor_bytes: u64,
+    /// Loop-bookkeeping iterations that executed no op (empty bodies);
+    /// bounded alongside `max_events` so degenerate loops cannot spin the
+    /// interpreter forever. Not reported — purely a safety counter.
+    idle_steps: u64,
+    /// Absolute wall-clock deadline (run start + `wall_deadline`).
+    deadline: Option<Instant>,
     trace: Trace,
     host_mem: Option<CompId>,
 }
 
 impl<'m> Engine<'m> {
-    fn new(module: &'m Module, plan: &'m Plan, lib: &'m SimLibrary, options: &SimOptions) -> Self {
+    fn new(
+        module: &'m Module,
+        plan: &'m Plan,
+        lib: &'m SimLibrary,
+        options: &SimOptions,
+        start: Instant,
+    ) -> Self {
+        let deadline = options.limits.wall_deadline.map(|d| start + d);
         let mut engine = Engine {
             module,
             plan,
@@ -1086,6 +1138,9 @@ impl<'m> Engine<'m> {
             horizon: 0,
             wakes: 0,
             ops_interpreted: 0,
+            live_tensor_bytes: 0,
+            idle_steps: 0,
+            deadline,
             trace: if options.trace {
                 Trace::new()
             } else {
@@ -1140,16 +1195,71 @@ impl<'m> Engine<'m> {
         }
     }
 
+    /// Partial statistics at the current point of execution (carried by
+    /// limit/cancellation errors).
+    fn progress(&self, t: u64) -> Progress {
+        Progress {
+            cycles: self.horizon.max(t),
+            events: self.wakes,
+            ops: self.ops_interpreted,
+        }
+    }
+
+    fn limit_err(&self, kind: LimitKind, limit: u64, t: u64) -> SimError {
+        SimError::Limit(LimitExceeded {
+            kind,
+            limit,
+            progress: self.progress(t),
+        })
+    }
+
+    /// Epoch-cadence polls: cancellation and the wall-clock deadline. Kept
+    /// off the per-wake fast path — callers gate on the epoch masks.
+    #[cold]
+    fn check_epoch(&self, t: u64) -> Result<(), SimError> {
+        if let Some(c) = &self.options.cancel {
+            if c.is_cancelled() {
+                return Err(SimError::Cancelled(self.progress(t)));
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                let ms = self
+                    .options
+                    .limits
+                    .wall_deadline
+                    .map_or(0, |w| w.as_millis() as u64);
+                return Err(self.limit_err(LimitKind::WallClock, ms, t));
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-wake budget check, inlined into both scheduler loops (the
+    /// heap pop and the inline-wake fast path in `step_frame`). The cheap
+    /// counter comparisons run every wake; the epoch poll fires on
+    /// `wakes % WAKE_EPOCH == 1`, so a pre-cancelled run stops on its very
+    /// first wake.
+    #[inline]
+    fn check_budget(&self, t: u64) -> Result<(), SimError> {
+        let lim = &self.options.limits;
+        if self.wakes > lim.max_events {
+            return Err(self.limit_err(LimitKind::Events, lim.max_events, t));
+        }
+        if t > lim.max_cycles {
+            return Err(self.limit_err(LimitKind::Cycles, lim.max_cycles, t));
+        }
+        if self.wakes & (WAKE_EPOCH - 1) == 1 {
+            self.check_epoch(t)?;
+        }
+        Ok(())
+    }
+
     fn run(&mut self) -> Result<(), SimError> {
         while let Some(Reverse((t, _, p))) = self.heap.pop() {
             self.now = t;
             self.wakes += 1;
-            if self.wakes > self.options.max_wakes {
-                return Err(SimError::Limit(format!(
-                    "exceeded {} scheduler wakes at cycle {t}",
-                    self.options.max_wakes
-                )));
-            }
+            self.check_budget(t)?;
             self.wake(p, t)?;
         }
         // Everything drained: check for stuck work.
@@ -1215,7 +1325,9 @@ impl<'m> Engine<'m> {
                         if dep_time > self.procs[p].clock {
                             self.procs[p].clock = dep_time;
                         }
-                        let event = self.procs[p].queue.pop_front().unwrap();
+                        let Some(event) = self.procs[p].queue.pop_front() else {
+                            return Ok(()); // unreachable: front() was Some
+                        };
                         self.issue_event(p, event)?;
                         // issue_event may have finished instantly (memcpy) or
                         // installed a frame; loop to continue stepping.
@@ -1290,14 +1402,16 @@ impl<'m> Engine<'m> {
                 "memcpy size mismatch: src {elems} elems, dst {dst_elems} elems"
             )));
         }
-        let (_, rd_end, _) = self.machine.memory_mut(src_mem).access(
+        let no_mem =
+            || SimError::Runtime("internal: memcpy endpoint not backed by a memory".into());
+        let (_, rd_end, _) = self.machine.memory_mut(src_mem).ok_or_else(no_mem)?.access(
             AccessKind::Read,
             src_addr,
             elems,
             bytes,
             start,
         );
-        let (_, wr_end, _) = self.machine.memory_mut(dst_mem).access(
+        let (_, wr_end, _) = self.machine.memory_mut(dst_mem).ok_or_else(no_mem)?.access(
             AccessKind::Write,
             dst_addr,
             elems,
@@ -1400,23 +1514,30 @@ impl<'m> Engine<'m> {
     fn lookup_signal(&self, frame: &Frame, slot: Slot) -> Result<SignalId, SimError> {
         match self.lookup(frame, slot)? {
             SimValue::Signal(s) => Ok(s),
-            other => Err(SimError::Runtime(format!("expected a signal, got {other}"))),
+            other => Err(SimError::Type {
+                expected: "a signal",
+                got: other.to_string(),
+            }),
         }
     }
 
     fn lookup_comp(&self, frame: &Frame, slot: Slot) -> Result<CompId, SimError> {
         match self.lookup(frame, slot)? {
             SimValue::Component(c) => Ok(c),
-            other => Err(SimError::Runtime(format!(
-                "expected a component, got {other}"
-            ))),
+            other => Err(SimError::Type {
+                expected: "a component",
+                got: other.to_string(),
+            }),
         }
     }
 
     fn lookup_buffer(&self, frame: &Frame, slot: Slot) -> Result<BufId, SimError> {
         match self.lookup(frame, slot)? {
             SimValue::Buffer(b) => Ok(b),
-            other => Err(SimError::Runtime(format!("expected a buffer, got {other}"))),
+            other => Err(SimError::Type {
+                expected: "a buffer",
+                got: other.to_string(),
+            }),
         }
     }
 
@@ -1428,7 +1549,10 @@ impl<'m> Engine<'m> {
         match slot {
             Some(s) => match self.lookup(frame, s)? {
                 SimValue::Connection(id) => Ok(Some(id)),
-                other => Err(SimError::Runtime(format!("not a connection: {other}"))),
+                other => Err(SimError::Type {
+                    expected: "a connection",
+                    got: other.to_string(),
+                }),
             },
             None => Ok(None),
         }
@@ -1443,10 +1567,11 @@ impl<'m> Engine<'m> {
         out: &mut IndexBuf,
     ) -> Result<(), SimError> {
         for &s in slots {
-            let i = self
-                .lookup(frame, s)?
-                .as_int()
-                .ok_or_else(|| SimError::Runtime("subscripts must be integers".into()))?;
+            let v = self.lookup(frame, s)?;
+            let i = v.as_int().ok_or_else(|| SimError::Type {
+                expected: "an integer subscript",
+                got: v.to_string(),
+            })?;
             out.push(i.max(0) as usize);
         }
         Ok(())
@@ -1459,17 +1584,26 @@ impl<'m> Engine<'m> {
     /// through timed ops whenever no other event is due at or before this
     /// processor's advancing clock — those wakes would be the very next
     /// heap pop, so they are taken inline (still counted, so
-    /// `events_processed` and the `max_wakes` guard behave exactly as if
+    /// `events_processed` and the event-limit guard behave exactly as if
     /// each had gone through the heap). Returns `Yield` only when another
     /// processor must run first.
     fn step_frame(&mut self, p: usize) -> Result<Step, SimError> {
-        let mut frame = self.procs[p]
-            .frame
-            .take()
-            .expect("step_frame needs a frame");
+        let Some(mut frame) = self.procs[p].frame.take() else {
+            return Ok(Step::Blocked); // unreachable: callers check the frame
+        };
         let result = loop {
             match self.step_frame_inner(p, &mut frame) {
-                Ok(Step::Continue) => continue,
+                Ok(Step::Continue) => {
+                    // Zero-time op bursts never touch the scheduler loop, so
+                    // poll cancellation/deadline on an op-count cadence too.
+                    if self.ops_interpreted & (OP_EPOCH - 1) == 0 {
+                        let clock = self.procs[p].clock;
+                        if let Err(e) = self.check_epoch(clock) {
+                            break Err(e);
+                        }
+                    }
+                    continue;
+                }
                 Ok(Step::Yield) => {
                     let clock = self.procs[p].clock;
                     let contended = self
@@ -1481,11 +1615,8 @@ impl<'m> Engine<'m> {
                     }
                     self.now = clock;
                     self.wakes += 1;
-                    if self.wakes > self.options.max_wakes {
-                        break Err(SimError::Limit(format!(
-                            "exceeded {} scheduler wakes at cycle {clock}",
-                            self.options.max_wakes
-                        )));
+                    if let Err(e) = self.check_budget(clock) {
+                        break Err(e);
                     }
                 }
                 other => break other,
@@ -1520,6 +1651,21 @@ impl<'m> Engine<'m> {
                     } else {
                         frame.stack.pop();
                     }
+                    // A loop whose body runs no ops (empty block) burns no
+                    // events and no cycles; bound these pure-bookkeeping
+                    // spins so a huge trip count cannot hang the engine.
+                    self.idle_steps += 1;
+                    if self.idle_steps & (OP_EPOCH - 1) == 0 {
+                        let clock = self.procs[p].clock;
+                        if self.idle_steps > self.options.limits.max_events {
+                            return Err(self.limit_err(
+                                LimitKind::Events,
+                                self.options.limits.max_events,
+                                clock,
+                            ));
+                        }
+                        self.check_epoch(clock)?;
+                    }
                 }
                 None => {
                     frame.stack.pop();
@@ -1530,7 +1676,11 @@ impl<'m> Engine<'m> {
             }
         }
 
-        let scope = frame.stack.last_mut().unwrap();
+        // The end-of-block loop above only breaks while the stack is
+        // non-empty with `idx` in range.
+        let Some(scope) = frame.stack.last_mut() else {
+            return self.finish_frame(p, frame, vec![]);
+        };
         let op = self.module.block(scope.block).ops[scope.idx];
         scope.idx += 1;
         if matches!(self.plan.ops[op.index()].code, OpCode::Erased) {
@@ -1585,9 +1735,15 @@ impl<'m> Engine<'m> {
                 ports,
                 attrs,
             } => {
+                let capacity_elems = shape
+                    .iter()
+                    .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                    .ok_or_else(|| {
+                        SimError::Port(format!("memory shape {shape:?} capacity overflows"))
+                    })?;
                 let spec = MemSpec {
                     kind: kind.clone(),
-                    capacity_elems: shape.iter().product(),
+                    capacity_elems,
                     data_bits: *data_bits,
                     banks: *banks,
                     attrs: attrs.clone(),
@@ -1616,6 +1772,13 @@ impl<'m> Engine<'m> {
                 Ok(Step::Continue)
             }
             OpCode::CreateComp { names, children } => {
+                if names.len() != children.len() {
+                    return Err(SimError::Port(format!(
+                        "create_comp has {} names for {} children",
+                        names.len(),
+                        children.len()
+                    )));
+                }
                 let kids: Vec<CompId> = children
                     .iter()
                     .map(|&s| self.lookup_comp(frame, s))
@@ -1629,18 +1792,27 @@ impl<'m> Engine<'m> {
                 target,
                 children,
             } => {
+                if names.len() != children.len() {
+                    return Err(SimError::Port(format!(
+                        "add_comp has {} names for {} children",
+                        names.len(),
+                        children.len()
+                    )));
+                }
                 let target = self.lookup_comp(frame, *target)?;
                 let kids: Vec<CompId> = children
                     .iter()
                     .map(|&s| self.lookup_comp(frame, s))
                     .collect::<Result<_, _>>()?;
-                self.machine.extend_composite(target, names, &kids);
+                self.machine
+                    .extend_composite(target, names, &kids)
+                    .map_err(SimError::Port)?;
                 Ok(Step::Continue)
             }
             OpCode::GetComp { target, child } => {
                 let target = self.lookup_comp(frame, *target)?;
                 let found = self.machine.child(target, child).ok_or_else(|| {
-                    SimError::Runtime(format!(
+                    SimError::Port(format!(
                         "component '{}' has no child '{child}'",
                         self.machine.name(target)
                     ))
@@ -1662,10 +1834,11 @@ impl<'m> Engine<'m> {
                 is_int,
             } => {
                 let mem = self.lookup_comp(frame, *mem)?;
+                self.charge_tensor_bytes(shape, *elem_bytes, clock)?;
                 let buf = self
                     .machine
                     .alloc_buffer(mem, shape.clone(), *elem_bytes, *is_int)
-                    .map_err(SimError::Runtime)?;
+                    .map_err(SimError::Port)?;
                 self.bind(frame, info, 0, SimValue::Buffer(buf));
                 Ok(Step::Continue)
             }
@@ -1674,17 +1847,19 @@ impl<'m> Engine<'m> {
                 elem_bytes,
                 is_int,
             } => {
+                self.charge_tensor_bytes(shape, *elem_bytes, clock)?;
                 let host_mem = self.host_memory();
                 let buf = self
                     .machine
                     .alloc_buffer(host_mem, shape.clone(), *elem_bytes, *is_int)
-                    .map_err(SimError::Runtime)?;
+                    .map_err(SimError::Port)?;
                 self.bind(frame, info, 0, SimValue::Buffer(buf));
                 Ok(Step::Continue)
             }
             OpCode::Dealloc { buf } => {
                 let buf = self.lookup_buffer(frame, *buf)?;
-                self.machine.dealloc_buffer(buf);
+                let freed = self.machine.dealloc_buffer(buf);
+                self.live_tensor_bytes = self.live_tensor_bytes.saturating_sub(freed as u64);
                 Ok(Step::Continue)
             }
             OpCode::Read {
@@ -1705,7 +1880,9 @@ impl<'m> Engine<'m> {
                     conn,
                     clock,
                 )?;
-                self.bind(frame, info, 0, value.expect("read produces a value"));
+                let value = value
+                    .ok_or_else(|| SimError::Runtime("internal: read produced no value".into()))?;
+                self.bind(frame, info, 0, value);
                 self.advance(p, end)
             }
             OpCode::Write {
@@ -1743,7 +1920,9 @@ impl<'m> Engine<'m> {
                     None,
                     clock,
                 )?;
-                self.bind(frame, info, 0, value.expect("load produces a value"));
+                let value = value
+                    .ok_or_else(|| SimError::Runtime("internal: load produced no value".into()))?;
+                self.bind(frame, info, 0, value);
                 let cycles = self.procs[p].hot.load;
                 self.advance(p, clock + cycles)
             }
@@ -1784,10 +1963,12 @@ impl<'m> Engine<'m> {
                 let conn = self.lookup_conn(frame, *conn)?;
                 let done = self.signals.fresh();
                 self.bind(frame, info, 0, SimValue::Signal(done));
-                let target = *self
-                    .proc_of_comp
-                    .get(&dma)
-                    .ok_or_else(|| SimError::Runtime("memcpy target is not an executor".into()))?;
+                let target = *self.proc_of_comp.get(&dma).ok_or_else(|| {
+                    SimError::Port(format!(
+                        "memcpy target '{}' is not an executor",
+                        self.machine.name(dma)
+                    ))
+                })?;
                 self.procs[target].queue.push_back(PendingEvent {
                     kind: EventKind::Memcpy { src, dst, conn },
                     dep,
@@ -1829,7 +2010,7 @@ impl<'m> Engine<'m> {
                     });
                 }
                 let target = *self.proc_of_comp.get(&proc_comp).ok_or_else(|| {
-                    SimError::Runtime(format!(
+                    SimError::Port(format!(
                         "launch target '{}' is not an executor",
                         self.machine.name(proc_comp)
                     ))
@@ -1894,7 +2075,7 @@ impl<'m> Engine<'m> {
                 for i in 0..info.results.len() {
                     self.bind(frame, info, i, SimValue::Unit);
                 }
-                let end = clock + cycles;
+                let end = clock.saturating_add(cycles);
                 if self.trace.is_enabled() {
                     let tid = self.machine.name(self.procs[p].comp).to_string();
                     self.trace
@@ -2034,7 +2215,10 @@ impl<'m> Engine<'m> {
                 self.advance(p, clock + cycles)
             }
 
-            OpCode::Invalid(msg) => Err(SimError::Runtime(msg.clone())),
+            OpCode::Invalid { op, msg } => Err(SimError::Layout {
+                op: op.clone(),
+                msg: msg.clone(),
+            }),
             OpCode::Unsupported(name) => Err(SimError::Unsupported(format!(
                 "op '{name}' is not simulatable"
             ))),
@@ -2060,7 +2244,11 @@ impl<'m> Engine<'m> {
             let flat = if indices.is_empty() {
                 None
             } else {
-                Some(b.data.flatten_index(indices))
+                Some(
+                    b.data
+                        .try_flatten_index(indices)
+                        .map_err(SimError::Runtime)?,
+                )
             };
             (b.mem, b.elem_bytes, b.base_addr, b.elems(), flat)
         };
@@ -2073,6 +2261,7 @@ impl<'m> Engine<'m> {
         let (mstart, mend, mem_cycles) = self
             .machine
             .memory_mut(mem)
+            .ok_or_else(|| SimError::Runtime("internal: buffer not backed by a memory".into()))?
             .access(kind, addr, elems, bytes, start);
         let mut end = mend;
         let mut astart = if mem_cycles > 0 { mstart } else { start };
@@ -2097,7 +2286,8 @@ impl<'m> Engine<'m> {
                 }
             }
             AccessKind::Write => {
-                let v = value.expect("write needs a value");
+                let v = value
+                    .ok_or_else(|| SimError::Runtime("internal: write without a value".into()))?;
                 let b = self.machine.buffer_mut(buf);
                 write_value(b, flat, v).map_err(SimError::Runtime)?;
                 None
@@ -2145,10 +2335,40 @@ impl<'m> Engine<'m> {
         let ifmap = self.lookup_buffer(frame, ifmap)?;
         let weights = self.lookup_buffer(frame, weights)?;
         let ofmap = self.lookup_buffer(frame, ofmap)?;
+        // Structural validation before the functional kernel: the filter
+        // must fit inside the input, and every operand buffer must hold
+        // exactly the elements the dims describe — `conv2d_int` indexes
+        // against these products.
+        if dims.fh > dims.h || dims.fw > dims.w {
+            return Err(SimError::Runtime(format!(
+                "conv2d filter {}x{} larger than input {}x{}",
+                dims.fh, dims.fw, dims.h, dims.w
+            )));
+        }
+        let (eh, ew) = (dims.h - dims.fh + 1, dims.w - dims.fw + 1);
+        let product = |parts: &[usize]| parts.iter().try_fold(1usize, |a, &d| a.checked_mul(d));
+        let sizes = (
+            product(&[dims.c, dims.h, dims.w]),
+            product(&[dims.n, dims.c, dims.fh, dims.fw]),
+            product(&[dims.n, eh, ew]),
+            product(&[eh, ew, dims.n, dims.fh, dims.fw, dims.c]),
+        );
+        let (Some(ifmap_elems), Some(weight_elems), Some(ofmap_elems), Some(macs)) = sizes else {
+            return Err(SimError::Runtime("conv2d dimensions overflow".into()));
+        };
         // Functional result.
         let iv = int_data(&self.machine.buffer(ifmap).data)?;
         let wv = int_data(&self.machine.buffer(weights).data)?;
-        let mut ov = vec![0i64; dims.ofmap_elems()];
+        let out_elems = self.machine.buffer(ofmap).elems();
+        if iv.len() != ifmap_elems || wv.len() != weight_elems || out_elems != ofmap_elems {
+            return Err(SimError::Runtime(format!(
+                "conv2d operand sizes ({}, {}, {out_elems}) do not match dims \
+                 ({ifmap_elems}, {weight_elems}, {ofmap_elems})",
+                iv.len(),
+                wv.len()
+            )));
+        }
+        let mut ov = vec![0i64; ofmap_elems];
         conv2d_int(
             &iv, &wv, &mut ov, dims.c, dims.h, dims.w, dims.n, dims.fh, dims.fw,
         );
@@ -2156,7 +2376,7 @@ impl<'m> Engine<'m> {
         // Analytic timing: a naive scalar schedule costs
         // `linalg_cycles_per_mac` per MAC, streaming operands once.
         let clock = self.procs[p].clock;
-        let cycles = dims.macs() as u64 * self.lib.linalg_cycles_per_mac;
+        let cycles = (macs as u64).saturating_mul(self.lib.linalg_cycles_per_mac);
         for (buf, kind) in [
             (ifmap, AccessKind::Read),
             (weights, AccessKind::Read),
@@ -2166,7 +2386,9 @@ impl<'m> Engine<'m> {
                 let b = self.machine.buffer(buf);
                 (b.mem, b.bytes() as u64)
             };
-            self.machine.memory_mut(mem).count(kind, bytes);
+            if let Some(m) = self.machine.memory_mut(mem) {
+                m.count(kind, bytes);
+            }
         }
         if self.trace.is_enabled() {
             let tid = self.machine.name(self.procs[p].comp).to_string();
@@ -2179,7 +2401,7 @@ impl<'m> Engine<'m> {
                 &tid,
             );
         }
-        self.advance(p, clock + cycles)
+        self.advance(p, clock.saturating_add(cycles))
     }
 
     fn exec_matmul(
@@ -2193,18 +2415,50 @@ impl<'m> Engine<'m> {
         let a = self.lookup_buffer(frame, a)?;
         let b = self.lookup_buffer(frame, b)?;
         let c = self.lookup_buffer(frame, c)?;
-        let (m, k) = {
-            let s = &self.machine.buffer(a).shape;
-            (s[0], s[1])
+        // Structural validation before the functional kernel: rank-2
+        // operands with agreeing inner dimensions — `matmul_int` indexes
+        // against these products.
+        let rank2 = |buf: BufId| -> Result<(usize, usize), SimError> {
+            let s = &self.machine.buffer(buf).shape;
+            match s[..] {
+                [rows, cols] => Ok((rows, cols)),
+                _ => Err(SimError::Runtime(format!(
+                    "matmul operand must be rank-2, got shape {s:?}"
+                ))),
+            }
         };
-        let n = self.machine.buffer(b).shape[1];
+        let (m, k) = rank2(a)?;
+        let (bk, n) = rank2(b)?;
+        let (cm, cn) = rank2(c)?;
+        if bk != k || cm != m || cn != n {
+            return Err(SimError::Runtime(format!(
+                "matmul shape mismatch: {m}x{k} * {bk}x{n} -> {cm}x{cn}"
+            )));
+        }
+        let product = |parts: &[usize]| parts.iter().try_fold(1usize, |x, &d| x.checked_mul(d));
+        let sizes = (
+            product(&[m, k]),
+            product(&[k, n]),
+            product(&[m, n]),
+            product(&[m, n, k]),
+        );
+        let (Some(a_elems), Some(b_elems), Some(out_elems), Some(mac_count)) = sizes else {
+            return Err(SimError::Runtime("matmul dimensions overflow".into()));
+        };
         let av = int_data(&self.machine.buffer(a).data)?;
         let bv = int_data(&self.machine.buffer(b).data)?;
-        let mut cv = vec![0i64; m * n];
+        if av.len() != a_elems || bv.len() != b_elems {
+            return Err(SimError::Runtime(format!(
+                "matmul operand sizes ({}, {}) do not match shapes {m}x{k}, {k}x{n}",
+                av.len(),
+                bv.len()
+            )));
+        }
+        let mut cv = vec![0i64; out_elems];
         matmul_int(&av, &bv, &mut cv, m, k, n);
         set_int_data(&mut self.machine.buffer_mut(c).data, cv);
         let clock = self.procs[p].clock;
-        let cycles = (m * n * k) as u64 * self.lib.linalg_cycles_per_mac;
+        let cycles = (mac_count as u64).saturating_mul(self.lib.linalg_cycles_per_mac);
         if self.trace.is_enabled() {
             let tid = self.machine.name(self.procs[p].comp).to_string();
             self.trace.record(
@@ -2216,7 +2470,7 @@ impl<'m> Engine<'m> {
                 &tid,
             );
         }
-        self.advance(p, clock + cycles)
+        self.advance(p, clock.saturating_add(cycles))
     }
 
     fn exec_fill(
@@ -2231,24 +2485,22 @@ impl<'m> Engine<'m> {
         let elems = self.machine.buffer(buf).elems();
         let b = self.machine.buffer_mut(buf);
         match (&mut b.data.data, &scalar) {
-            (TensorData::Int(_), s) => {
+            (TensorData::Int(ints), s) => {
                 let x = s
                     .as_int()
                     .ok_or_else(|| SimError::Runtime("fill type mismatch".into()))?;
-                let v = b.data.data.make_ints_mut().expect("int payload");
-                v.iter_mut().for_each(|e| *e = x);
+                b.data.data = TensorData::from_ints(vec![x; ints.len()]);
             }
-            (TensorData::Float(_), s) => {
+            (TensorData::Float(floats), s) => {
                 let x = s
                     .as_float()
                     .ok_or_else(|| SimError::Runtime("fill type mismatch".into()))?;
-                let v = b.data.data.make_floats_mut().expect("float payload");
-                v.iter_mut().for_each(|e| *e = x);
+                b.data.data = TensorData::from_floats(vec![x; floats.len()]);
             }
         }
         let clock = self.procs[p].clock;
         let cycles = elems as u64;
-        self.advance(p, clock + cycles)
+        self.advance(p, clock.saturating_add(cycles))
     }
 
     /// Advances the processor's clock to `end`; yields when time passed.
@@ -2261,6 +2513,28 @@ impl<'m> Engine<'m> {
         } else {
             Ok(Step::Continue)
         }
+    }
+
+    /// Accounts a pending tensor allocation against `max_live_tensor_bytes`
+    /// — checked *before* the backing store is allocated, so an oversized
+    /// request errors out instead of exhausting host memory.
+    fn charge_tensor_bytes(
+        &mut self,
+        shape: &[usize],
+        elem_bytes: usize,
+        t: u64,
+    ) -> Result<(), SimError> {
+        let bytes = shape
+            .iter()
+            .try_fold(elem_bytes, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| SimError::Port(format!("allocation of shape {shape:?} overflows")))?
+            as u64;
+        self.live_tensor_bytes = self.live_tensor_bytes.saturating_add(bytes);
+        let lim = self.options.limits.max_live_tensor_bytes;
+        if self.live_tensor_bytes > lim {
+            return Err(self.limit_err(LimitKind::LiveTensorBytes, lim, t));
+        }
+        Ok(())
     }
 
     /// The implicit host memory backing `memref.alloc` (unbounded,
@@ -2311,8 +2585,9 @@ fn write_value(
     flat: Option<usize>,
     value: SimValue,
 ) -> Result<(), String> {
+    use std::sync::Arc;
     let Some(flat) = flat else {
-        match (&buffer.data.data, value) {
+        match (&mut buffer.data.data, value) {
             (TensorData::Int(dst), SimValue::Tensor(t)) => match t.data {
                 TensorData::Int(src) => {
                     if src.len() != dst.len() {
@@ -2338,32 +2613,41 @@ fn write_value(
                 }
                 TensorData::Int(_) => return Err("write mixes int tensor into float buffer".into()),
             },
-            (TensorData::Int(_), SimValue::Int(v)) => {
-                let dst = buffer.data.data.make_ints_mut().expect("int payload");
-                dst.iter_mut().for_each(|e| *e = v);
+            (TensorData::Int(dst), SimValue::Int(v)) => {
+                Arc::make_mut(dst).iter_mut().for_each(|e| *e = v);
             }
-            (TensorData::Float(_), SimValue::Float(v)) => {
-                let dst = buffer.data.data.make_floats_mut().expect("float payload");
-                dst.iter_mut().for_each(|e| *e = v);
+            (TensorData::Float(dst), SimValue::Float(v)) => {
+                Arc::make_mut(dst).iter_mut().for_each(|e| *e = v);
             }
-            (TensorData::Float(_), SimValue::Int(v)) => {
-                let dst = buffer.data.data.make_floats_mut().expect("float payload");
-                dst.iter_mut().for_each(|e| *e = v as f64);
+            (TensorData::Float(dst), SimValue::Int(v)) => {
+                Arc::make_mut(dst).iter_mut().for_each(|e| *e = v as f64);
             }
             (_, SimValue::Unit) => {} // opaque ext-op results: timing-only
             (_, other) => return Err(format!("cannot write {other} into buffer")),
         }
         return Ok(());
     };
-    match (&buffer.data.data, value) {
-        (TensorData::Int(_), SimValue::Int(v)) => {
-            buffer.data.data.make_ints_mut().expect("int payload")[flat] = v;
+    match (&mut buffer.data.data, value) {
+        (TensorData::Int(dst), SimValue::Int(v)) => {
+            let dst = Arc::make_mut(dst);
+            let slot = dst
+                .get_mut(flat)
+                .ok_or_else(|| format!("write index {flat} out of range"))?;
+            *slot = v;
         }
-        (TensorData::Float(_), SimValue::Float(v)) => {
-            buffer.data.data.make_floats_mut().expect("float payload")[flat] = v;
+        (TensorData::Float(dst), SimValue::Float(v)) => {
+            let dst = Arc::make_mut(dst);
+            let slot = dst
+                .get_mut(flat)
+                .ok_or_else(|| format!("write index {flat} out of range"))?;
+            *slot = v;
         }
-        (TensorData::Float(_), SimValue::Int(v)) => {
-            buffer.data.data.make_floats_mut().expect("float payload")[flat] = v as f64;
+        (TensorData::Float(dst), SimValue::Int(v)) => {
+            let dst = Arc::make_mut(dst);
+            let slot = dst
+                .get_mut(flat)
+                .ok_or_else(|| format!("write index {flat} out of range"))?;
+            *slot = v as f64;
         }
         (_, SimValue::Unit) => {}
         (_, other) => return Err(format!("cannot write {other} at index")),
@@ -2633,7 +2917,7 @@ mod tests {
 
     #[test]
     fn malformed_op_errors_only_when_executed() {
-        // The same wrong-arity op on the live path raises a runtime error
+        // The same wrong-arity op on the live path raises a layout error
         // (not a panic).
         let mut m = Module::new();
         let blk = m.top_block();
@@ -2650,7 +2934,8 @@ mod tests {
         let mut b = OpBuilder::at_end(&mut m, blk);
         b.await_all(vec![done]);
         let err = simulate(&m).unwrap_err();
-        assert!(matches!(err, SimError::Runtime(_)), "{err}");
+        assert!(matches!(err, SimError::Layout { .. }), "{err}");
+        assert!(err.to_string().contains("equeue.get_comp"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Structured simulation errors, run limits, and cooperative cancellation.
+//!
+//! Everything that can go wrong during `parse → compile → simulate` surfaces
+//! as a [`SimError`] variant rather than a panic, so a long-running host (a
+//! sweep driver, a simulation service) can report the failure and keep going.
+//! [`RunLimits`] bounds a single run in cycles, scheduler events, live tensor
+//! bytes, and wall-clock time; [`CancelToken`] lets another thread stop a run
+//! (or a whole batched sweep) promptly with partial, well-formed statistics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which [`RunLimits`] field a run exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// `max_cycles`: the simulated clock passed the budget.
+    Cycles,
+    /// `max_events`: the scheduler processed too many wakes.
+    Events,
+    /// `max_live_tensor_bytes`: simultaneously-live tensor storage.
+    LiveTensorBytes,
+    /// `wall_deadline`: real elapsed time passed the budget.
+    WallClock,
+}
+
+impl LimitKind {
+    fn name(self) -> &'static str {
+        match self {
+            LimitKind::Cycles => "cycle",
+            LimitKind::Events => "event",
+            LimitKind::LiveTensorBytes => "live-tensor-byte",
+            LimitKind::WallClock => "wall-clock (ms)",
+        }
+    }
+}
+
+/// Partial run statistics captured when a run stops early.
+///
+/// Carried by [`SimError::Limit`] and [`SimError::Cancelled`] so callers get
+/// well-formed progress data even when a run does not finish.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Simulated cycles reached so far.
+    pub cycles: u64,
+    /// Scheduler events (wakes) processed so far.
+    pub events: u64,
+    /// Ops interpreted so far.
+    pub ops: u64,
+}
+
+impl std::fmt::Display for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle {} after {} events, {} ops",
+            self.cycles, self.events, self.ops
+        )
+    }
+}
+
+/// Details of an exceeded [`RunLimits`] budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// Which budget was exceeded.
+    pub kind: LimitKind,
+    /// The configured budget value (ms for [`LimitKind::WallClock`]).
+    pub limit: u64,
+    /// Partial statistics at the point the run stopped.
+    pub progress: Progress,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} limit {} exceeded at {}",
+            self.kind.name(),
+            self.limit,
+            self.progress
+        )
+    }
+}
+
+/// Everything that can stop a simulation without producing a report.
+///
+/// The taxonomy mirrors the pipeline stages: [`Parse`](SimError::Parse) from
+/// IR text, [`Layout`](SimError::Layout) from the structural prepass,
+/// [`Type`](SimError::Type) from value-kind confusion at execution time,
+/// [`Port`](SimError::Port) from component/connection misuse,
+/// [`Deadlock`](SimError::Deadlock), [`Unsupported`](SimError::Unsupported),
+/// and [`Runtime`](SimError::Runtime) from the engine itself, and
+/// [`Limit`](SimError::Limit) / [`Cancelled`](SimError::Cancelled) from
+/// [`RunLimits`] / [`CancelToken`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The IR text failed to parse (1-based source location).
+    Parse {
+        /// Line of the error.
+        line: usize,
+        /// Column of the error.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// An op was structurally malformed (wrong operand/region/attr shape).
+    /// Raised lazily: only when the malformed op is actually executed.
+    Layout {
+        /// Fully-qualified op name, e.g. `equeue.launch`.
+        op: String,
+        /// What was malformed.
+        msg: String,
+    },
+    /// A value had the wrong runtime kind (e.g. an int where a signal was
+    /// expected).
+    Type {
+        /// The kind the op required.
+        expected: &'static str,
+        /// Display of the value actually found.
+        got: String,
+    },
+    /// A structural hardware-model misuse: launching onto a non-executor,
+    /// allocating on a non-memory, exceeding a memory's capacity, or
+    /// malformed component composition.
+    Port(String),
+    /// No runnable work remains but events are still pending.
+    Deadlock(String),
+    /// The op or signature is recognised but not implemented.
+    Unsupported(String),
+    /// Any other execution failure (bad memcpy sizes, division by zero, ...).
+    Runtime(String),
+    /// A [`RunLimits`] budget was exceeded; carries partial statistics.
+    Limit(LimitExceeded),
+    /// The run observed its [`CancelToken`]; carries partial statistics.
+    Cancelled(Progress),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            SimError::Layout { op, msg } => write!(f, "layout error in '{op}': {msg}"),
+            SimError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            SimError::Port(msg) => write!(f, "port error: {msg}"),
+            SimError::Deadlock(msg) => write!(f, "deadlock: {msg}"),
+            SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            SimError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            SimError::Limit(l) => write!(f, "{l}"),
+            SimError::Cancelled(p) => write!(f, "cancelled at {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<equeue_ir::IrError> for SimError {
+    fn from(e: equeue_ir::IrError) -> Self {
+        match e {
+            equeue_ir::IrError::Parse { line, col, msg } => SimError::Parse { line, col, msg },
+            equeue_ir::IrError::Verify(msg) => SimError::Layout {
+                op: "<module>".into(),
+                msg,
+            },
+            other => SimError::Runtime(other.to_string()),
+        }
+    }
+}
+
+/// Resource budgets for one simulation run, checked cheaply in the scheduler
+/// loop.
+///
+/// Defaults are permissive: `max_events` keeps its historical runaway guard
+/// of 500 M wakes, everything else is unlimited. Limit violations surface as
+/// [`SimError::Limit`] carrying [`Progress`] at the stop point.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_core::RunLimits;
+/// let limits = RunLimits {
+///     max_cycles: 1_000_000,
+///     ..RunLimits::default()
+/// };
+/// assert_eq!(limits.max_events, 500_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Stop once the simulated clock passes this cycle count.
+    pub max_cycles: u64,
+    /// Stop once the scheduler has processed this many wakes (guards
+    /// runaway or non-terminating programs).
+    pub max_events: u64,
+    /// Stop once simultaneously-live tensor storage passes this many bytes.
+    pub max_live_tensor_bytes: u64,
+    /// Stop once this much real time has elapsed since the run started.
+    /// Checked once per epoch (see [`crate::SimOptions`]), so enforcement
+    /// granularity is one epoch of scheduler work.
+    pub wall_deadline: Option<Duration>,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_cycles: u64::MAX,
+            max_events: 500_000_000,
+            max_live_tensor_bytes: u64::MAX,
+            wall_deadline: None,
+        }
+    }
+}
+
+impl RunLimits {
+    /// Fully unlimited budgets (no event guard either). Use with care.
+    pub fn unlimited() -> Self {
+        RunLimits {
+            max_cycles: u64::MAX,
+            max_events: u64::MAX,
+            max_live_tensor_bytes: u64::MAX,
+            wall_deadline: None,
+        }
+    }
+}
+
+/// A shared flag for cooperatively cancelling runs and sweeps.
+///
+/// Clones share the same underlying flag. The engine polls the token once
+/// per epoch (1024 scheduler wakes or 4096 interpreted ops, whichever comes
+/// first), so cancellation is observed within one epoch and surfaces as
+/// [`SimError::Cancelled`] with partial statistics. `pool` workers check the
+/// token before claiming each work item.
+///
+/// # Examples
+///
+/// ```
+/// use equeue_core::CancelToken;
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_default_keeps_event_guard() {
+        let l = RunLimits::default();
+        assert_eq!(l.max_events, 500_000_000);
+        assert_eq!(l.max_cycles, u64::MAX);
+        assert_eq!(l.max_live_tensor_bytes, u64::MAX);
+        assert!(l.wall_deadline.is_none());
+        assert_eq!(RunLimits::unlimited().max_events, u64::MAX);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_between_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        c.cancel(); // idempotent
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SimError::Limit(LimitExceeded {
+            kind: LimitKind::Cycles,
+            limit: 100,
+            progress: Progress {
+                cycles: 101,
+                events: 7,
+                ops: 3,
+            },
+        });
+        let s = e.to_string();
+        assert!(s.contains("cycle limit 100"));
+        assert!(s.contains("cycle 101"));
+        let p = SimError::Parse {
+            line: 3,
+            col: 9,
+            msg: "expected '('".into(),
+        };
+        assert!(p.to_string().contains("3:9"));
+        let t = SimError::Type {
+            expected: "signal",
+            got: "int 4".into(),
+        };
+        assert!(t.to_string().contains("expected signal"));
+    }
+}

@@ -236,7 +236,9 @@ pub fn apply_cmpi(pred: &str, lhs: &SimValue, rhs: &SimValue) -> Result<SimValue
 /// `linalg.conv2d`).
 ///
 /// Layouts: ifmap `[C][H][W]`, weights `[N][C][Fh][Fw]`, ofmap
-/// `[N][Eh][Ew]` — all flattened row-major.
+/// `[N][Eh][Ew]` — all flattened row-major. Accumulation wraps on overflow
+/// (two's-complement), matching the engine's `arith.muli`/`arith.addi`
+/// semantics on adversarial inputs.
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_int(
     ifmap: &[i64],
@@ -249,8 +251,10 @@ pub fn conv2d_int(
     fh: usize,
     fw: usize,
 ) {
-    let eh = h - fh + 1;
-    let ew = w - fw + 1;
+    // A filter larger than the input yields an empty ofmap rather than an
+    // arithmetic panic (the engine validates shapes before calling in).
+    let eh = h.saturating_add(1).saturating_sub(fh);
+    let ew = w.saturating_add(1).saturating_sub(fw);
     for on in 0..n {
         for oy in 0..eh {
             for ox in 0..ew {
@@ -260,7 +264,7 @@ pub fn conv2d_int(
                         for kx in 0..fw {
                             let iv = ifmap[ic * h * w + (oy + ky) * w + (ox + kx)];
                             let wv = weights[on * c * fh * fw + ic * fh * fw + ky * fw + kx];
-                            acc += iv * wv;
+                            acc = acc.wrapping_add(iv.wrapping_mul(wv));
                         }
                     }
                 }
@@ -271,12 +275,13 @@ pub fn conv2d_int(
 }
 
 /// Functional integer matmul: `C = A × B` with `A: MxK`, `B: KxN`.
+/// Accumulation wraps on overflow, matching `arith` semantics.
 pub fn matmul_int(a: &[i64], b: &[i64], c: &mut [i64], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for j in 0..n {
-            let mut acc = 0;
+            let mut acc = 0i64;
             for p in 0..k {
-                acc += a[i * k + p] * b[p * n + j];
+                acc = acc.wrapping_add(a[i * k + p].wrapping_mul(b[p * n + j]));
             }
             c[i * n + j] = acc;
         }

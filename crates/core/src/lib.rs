@@ -86,9 +86,14 @@
 //! ```
 
 #![warn(missing_docs)]
+// Robustness gate: the library half of the crate must never panic on
+// adversarial input, so `unwrap`/`expect` are denied outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod compiled;
 mod engine;
+mod error;
+pub mod fault;
 mod interp;
 mod library;
 mod machine;
@@ -98,7 +103,8 @@ mod trace;
 mod value;
 
 pub use compiled::CompiledModule;
-pub use engine::{simulate, simulate_with, SimError, SimOptions};
+pub use engine::{simulate, simulate_with, SimOptions};
+pub use error::{CancelToken, LimitExceeded, LimitKind, Progress, RunLimits, SimError};
 pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
 pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};
 pub use machine::{

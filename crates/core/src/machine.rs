@@ -628,9 +628,9 @@ impl Machine {
     }
 
     /// Adds a composite with named children (children are renamed to their
-    /// given names); returns its id.
+    /// given names); returns its id. Extra names or children beyond the
+    /// shorter of the two lists are ignored.
     pub fn add_composite(&mut self, names: &[String], children: &[CompId]) -> CompId {
-        assert_eq!(names.len(), children.len());
         let id = CompId(self.components.len() as u32);
         for (n, &c) in names.iter().zip(children) {
             self.components[c.0 as usize].name = n.clone();
@@ -650,11 +650,24 @@ impl Machine {
 
     /// Adds named children to an existing composite.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `comp` is not a composite.
-    pub fn extend_composite(&mut self, comp: CompId, names: &[String], children: &[CompId]) {
-        assert_eq!(names.len(), children.len());
+    /// Fails if `comp` is not a composite.
+    pub fn extend_composite(
+        &mut self,
+        comp: CompId,
+        names: &[String],
+        children: &[CompId],
+    ) -> Result<(), String> {
+        if !matches!(
+            self.components[comp.0 as usize].kind,
+            ComponentKind::Composite(_)
+        ) {
+            return Err(format!(
+                "component '{}' is not a composite",
+                self.components[comp.0 as usize].name
+            ));
+        }
         for (n, &c) in names.iter().zip(children) {
             self.components[c.0 as usize].name = n.clone();
         }
@@ -663,8 +676,9 @@ impl Machine {
                 c.children
                     .extend(names.iter().cloned().zip(children.iter().copied()));
             }
-            _ => panic!("extend_composite target is not a composite"),
+            _ => unreachable!(),
         }
+        Ok(())
     }
 
     /// Looks up a direct child of a composite by name.
@@ -684,39 +698,27 @@ impl Machine {
         &self.components[comp.0 as usize].name
     }
 
-    /// Immutable memory accessor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `comp` is not a memory.
-    pub fn memory(&self, comp: CompId) -> &Memory {
+    /// Immutable memory accessor; `None` if `comp` is not a memory.
+    pub fn memory(&self, comp: CompId) -> Option<&Memory> {
         match &self.components[comp.0 as usize].kind {
-            ComponentKind::Memory(m) => m,
-            other => panic!("component {} is not a memory: {other:?}", comp.0),
+            ComponentKind::Memory(m) => Some(m),
+            _ => None,
         }
     }
 
-    /// Mutable memory accessor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `comp` is not a memory.
-    pub fn memory_mut(&mut self, comp: CompId) -> &mut Memory {
+    /// Mutable memory accessor; `None` if `comp` is not a memory.
+    pub fn memory_mut(&mut self, comp: CompId) -> Option<&mut Memory> {
         match &mut self.components[comp.0 as usize].kind {
-            ComponentKind::Memory(m) => m,
-            _ => panic!("component {} is not a memory", comp.0),
+            ComponentKind::Memory(m) => Some(m),
+            _ => None,
         }
     }
 
-    /// Processor accessor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `comp` is not a processor.
-    pub fn processor(&self, comp: CompId) -> &Processor {
+    /// Processor accessor; `None` if `comp` is not a processor.
+    pub fn processor(&self, comp: CompId) -> Option<&Processor> {
         match &self.components[comp.0 as usize].kind {
-            ComponentKind::Processor(p) => p,
-            other => panic!("component {} is not a processor: {other:?}", comp.0),
+            ComponentKind::Processor(p) => Some(p),
+            _ => None,
         }
     }
 
@@ -732,7 +734,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Fails when the memory lacks capacity.
+    /// Fails when `mem` is not a memory, the requested element count
+    /// overflows, or the memory lacks capacity.
     pub fn alloc_buffer(
         &mut self,
         mem: CompId,
@@ -740,26 +743,26 @@ impl Machine {
         elem_bytes: usize,
         int_data: bool,
     ) -> Result<BufId, String> {
-        let elems: usize = shape.iter().product();
-        let (base_addr, ok) = {
-            let m = self.memory_mut(mem);
-            let base = m.used_elems;
-            if m.used_elems + elems > m.capacity_elems {
-                (0, false)
-            } else {
-                m.used_elems += elems;
-                (base, true)
-            }
+        let name = self.name(mem).to_string();
+        let elems = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| format!("allocation shape {shape:?} overflows in memory '{name}'"))?;
+        let Some(m) = self.memory_mut(mem) else {
+            return Err(format!("component '{name}' is not a memory"));
         };
-        if !ok {
-            let m = self.memory(mem);
+        let base_addr = m.used_elems;
+        let fits = m
+            .used_elems
+            .checked_add(elems)
+            .is_some_and(|total| total <= m.capacity_elems);
+        if !fits {
             return Err(format!(
-                "memory '{}' overflow: {} elems used of {}, requested {elems}",
-                self.name(mem),
-                m.used_elems,
-                m.capacity_elems
+                "memory '{name}' overflow: {} elems used of {}, requested {elems}",
+                m.used_elems, m.capacity_elems
             ));
         }
+        m.used_elems += elems;
         let id = BufId(self.buffers.len() as u32);
         let data = if int_data {
             Tensor::zeros_int(shape.clone())
@@ -777,16 +780,21 @@ impl Machine {
         Ok(id)
     }
 
-    /// Deallocates a buffer, returning its capacity to the memory.
-    pub fn dealloc_buffer(&mut self, buf: BufId) {
-        let (mem, elems, live) = {
+    /// Deallocates a buffer, returning its capacity to the memory. Returns
+    /// the number of bytes freed (0 if the buffer was already dead).
+    pub fn dealloc_buffer(&mut self, buf: BufId) -> usize {
+        let (mem, elems, elem_bytes, live) = {
             let b = &self.buffers[buf.0 as usize];
-            (b.mem, b.elems(), b.live)
+            (b.mem, b.elems(), b.elem_bytes, b.live)
         };
-        if live {
-            self.buffers[buf.0 as usize].live = false;
-            self.memory_mut(mem).used_elems = self.memory(mem).used_elems.saturating_sub(elems);
+        if !live {
+            return 0;
         }
+        self.buffers[buf.0 as usize].live = false;
+        if let Some(m) = self.memory_mut(mem) {
+            m.used_elems = m.used_elems.saturating_sub(elems);
+        }
+        elems.saturating_mul(elem_bytes)
     }
 
     /// Buffer accessor.
@@ -868,12 +876,12 @@ mod tests {
         let mut m = Machine::new();
         let mem = m.add_memory("SRAM", 4096, 32, 4, 1, Box::new(SramBehavior::default()));
         // Two 4-cycle accesses on 1 port: the second waits.
-        let (s1, f1) = m.memory_mut(mem).reserve(0, 4);
-        let (s2, f2) = m.memory_mut(mem).reserve(0, 4);
+        let (s1, f1) = m.memory_mut(mem).unwrap().reserve(0, 4);
+        let (s2, f2) = m.memory_mut(mem).unwrap().reserve(0, 4);
         assert_eq!((s1, f1), (0, 4));
         assert_eq!((s2, f2), (4, 8));
         // Zero-cycle access never waits.
-        let (s3, f3) = m.memory_mut(mem).reserve(0, 0);
+        let (s3, f3) = m.memory_mut(mem).unwrap().reserve(0, 0);
         assert_eq!((s3, f3), (0, 0));
     }
 
@@ -881,9 +889,9 @@ mod tests {
     fn memory_two_ports_parallel() {
         let mut m = Machine::new();
         let mem = m.add_memory("SRAM", 4096, 32, 4, 2, Box::new(SramBehavior::default()));
-        let (s1, _) = m.memory_mut(mem).reserve(0, 4);
-        let (s2, _) = m.memory_mut(mem).reserve(0, 4);
-        let (s3, _) = m.memory_mut(mem).reserve(0, 4);
+        let (s1, _) = m.memory_mut(mem).unwrap().reserve(0, 4);
+        let (s2, _) = m.memory_mut(mem).unwrap().reserve(0, 4);
+        let (s3, _) = m.memory_mut(mem).unwrap().reserve(0, 4);
         assert_eq!((s1, s2), (0, 0));
         assert_eq!(s3, 4);
     }
@@ -898,10 +906,10 @@ mod tests {
         let b2 = m.alloc_buffer(mem, vec![36], 4, true).unwrap();
         assert_eq!(m.buffer(b2).base_addr, 64);
         assert!(m.alloc_buffer(mem, vec![1], 4, true).is_err());
-        m.dealloc_buffer(b1);
+        assert_eq!(m.dealloc_buffer(b1), 256);
         assert!(m.alloc_buffer(mem, vec![10], 4, true).is_ok());
         // Double-dealloc is a no-op.
-        m.dealloc_buffer(b1);
+        assert_eq!(m.dealloc_buffer(b1), 0);
     }
 
     #[test]
@@ -915,7 +923,7 @@ mod tests {
         assert_eq!(m.child(c, "Nope"), None);
         assert_eq!(m.name(p), "PE");
         let d = m.add_dma();
-        m.extend_composite(c, &["DMA".into()], &[d]);
+        m.extend_composite(c, &["DMA".into()], &[d]).unwrap();
         assert_eq!(m.child(c, "DMA"), Some(d));
         assert!(m.is_executor(p));
         assert!(m.is_executor(d));

@@ -280,8 +280,14 @@ mod tests {
             2,
             Box::new(crate::machine::SramBehavior::default()),
         );
-        machine.memory_mut(mem).count(AccessKind::Read, 100);
-        machine.memory_mut(mem).count(AccessKind::Write, 60);
+        machine
+            .memory_mut(mem)
+            .unwrap()
+            .count(AccessKind::Read, 100);
+        machine
+            .memory_mut(mem)
+            .unwrap()
+            .count(AccessKind::Write, 60);
         let mut r = SimReport {
             cycles: 10,
             ..Default::default()

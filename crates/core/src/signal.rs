@@ -98,7 +98,7 @@ impl SignalTable {
             match &self.signals[d.0 as usize] {
                 SignalState::Resolved { time, .. } => {
                     time_acc = time_acc.max(*time);
-                    if fired_any.is_none() || *time < fired_any.unwrap() {
+                    if fired_any.is_none_or(|t| *time < t) {
                         fired_any = Some(*time);
                     }
                 }
@@ -173,11 +173,8 @@ impl SignalTable {
 
     /// Resolves `sig` at `time` with `payload`, cascading through
     /// combinators. Returns every signal that became resolved (including
-    /// `sig`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sig` is already resolved.
+    /// `sig`). Resolving an already-resolved signal is a no-op: the first
+    /// resolution wins (faulty or adversarial IR can attempt it).
     pub fn resolve(&mut self, sig: SignalId, time: u64, payload: Vec<SimValue>) -> Vec<SignalId> {
         self.just_resolved.clear();
         self.resolve_inner(sig, time, payload);
@@ -186,7 +183,7 @@ impl SignalTable {
 
     fn resolve_inner(&mut self, sig: SignalId, time: u64, payload: Vec<SimValue>) {
         let dependents = match &mut self.signals[sig.0 as usize] {
-            SignalState::Resolved { .. } => panic!("signal #{} resolved twice", sig.0),
+            SignalState::Resolved { .. } => return, // first resolution wins
             SignalState::Pending { dependents, .. } => std::mem::take(dependents),
         };
         self.signals[sig.0 as usize] = SignalState::Resolved { time, payload };
@@ -246,12 +243,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "resolved twice")]
-    fn double_resolve_panics() {
+    fn double_resolve_is_ignored() {
         let mut t = SignalTable::new();
         let s = t.fresh();
-        t.resolve(s, 1, vec![]);
-        t.resolve(s, 2, vec![]);
+        t.resolve(s, 1, vec![SimValue::Int(9)]);
+        let fired = t.resolve(s, 2, vec![]);
+        assert!(fired.is_empty());
+        assert_eq!(t.resolve_time(s), Some(1)); // first resolution wins
+        assert_eq!(t.payload(s), &[SimValue::Int(9)]);
     }
 
     #[test]

@@ -179,16 +179,32 @@ impl Tensor {
     /// Panics if the subscript rank does not match the tensor's rank or an
     /// index is out of range.
     pub fn flatten_index(&self, indices: &[usize]) -> usize {
-        assert_eq!(indices.len(), self.shape.len(), "rank mismatch");
-        let mut flat = 0;
+        match self.try_flatten_index(indices) {
+            Ok(flat) => flat,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Row-major flat index for `indices`, or a diagnostic when the
+    /// subscript rank does not match the tensor's rank or an index is out
+    /// of range. The fallible twin of [`Tensor::flatten_index`], used on
+    /// paths fed by untrusted IR.
+    pub fn try_flatten_index(&self, indices: &[usize]) -> Result<usize, String> {
+        if indices.len() != self.shape.len() {
+            return Err(format!(
+                "rank mismatch: {} subscripts for a rank-{} tensor",
+                indices.len(),
+                self.shape.len()
+            ));
+        }
+        let mut flat = 0usize;
         for (i, (&idx, &dim)) in indices.iter().zip(&self.shape).enumerate() {
-            assert!(
-                idx < dim,
-                "index {idx} out of range for dim {i} (size {dim})"
-            );
+            if idx >= dim {
+                return Err(format!("index {idx} out of range for dim {i} (size {dim})"));
+            }
             flat = flat * dim + idx;
         }
-        flat
+        Ok(flat)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Scenario tests for the simulation engine: each exercises one modelled
 //! hardware behaviour end to end through a small EQueue program.
 
-use equeue_core::{simulate, simulate_with, SimError, SimLibrary, SimOptions};
+use equeue_core::{simulate, simulate_with, RunLimits, SimError, SimLibrary, SimOptions};
 use equeue_dialect::{kinds, ArithBuilder, ConnKind, EqueueBuilder};
 use equeue_ir::{Module, OpBuilder, Type, ValueId};
 
@@ -271,7 +271,7 @@ fn await_can_wait_on_multiple_unordered_signals() {
 }
 
 #[test]
-fn allocation_overflow_is_a_runtime_error() {
+fn allocation_overflow_is_a_port_error() {
     let mut m = Module::new();
     let blk = m.top_block();
     let mut b = OpBuilder::at_end(&mut m, blk);
@@ -279,7 +279,7 @@ fn allocation_overflow_is_a_runtime_error() {
     b.alloc(mem, &[3], Type::I32);
     b.alloc(mem, &[3], Type::I32); // 6 > 4
     let err = simulate(&m).unwrap_err();
-    assert!(matches!(err, SimError::Runtime(_)), "{err}");
+    assert!(matches!(err, SimError::Port(_)), "{err}");
     assert!(err.to_string().contains("overflow"));
 }
 
@@ -308,7 +308,11 @@ fn wake_limit_guards_runaway_programs() {
         &lib,
         &SimOptions {
             trace: false,
-            max_wakes: 10,
+            limits: RunLimits {
+                max_events: 10,
+                ..Default::default()
+            },
+            ..Default::default()
         },
     )
     .unwrap_err();

@@ -1,0 +1,193 @@
+//! Unit tests for [`RunLimits`] and [`CancelToken`]: budgets must terminate
+//! otherwise-unbounded scenarios with a typed error carrying nonzero
+//! progress, and cancellation must be observed within one epoch.
+
+use std::time::Duration;
+
+use equeue_core::{
+    simulate_with, CancelToken, LimitKind, RunLimits, SimError, SimLibrary, SimOptions,
+};
+use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, EqueueBuilder};
+use equeue_ir::{Attr, Module, OpBuilder, Type};
+
+fn options(limits: RunLimits, cancel: Option<CancelToken>) -> SimOptions {
+    SimOptions {
+        trace: false,
+        limits,
+        cancel,
+    }
+}
+
+/// A launch whose single external op claims `cycles` cycles: the simulated
+/// clock jumps far ahead in one event.
+fn long_ext_op(cycles: i64) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pe = b.create_proc(kinds::MAC);
+    let start = b.control_start();
+    let l = b.launch(start, pe, &[], vec![]);
+    let op = {
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        let op = ib.ext_op("mac", vec![], vec![]);
+        ib.ret(vec![]);
+        op
+    };
+    m.op_mut(op).attrs.set("cycles", Attr::Int(cycles));
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+    m
+}
+
+/// A top-level affine loop with `iters` iterations of pure arithmetic: no
+/// hardware events, just interpreter work — the shape of an unbounded
+/// (or wall-clock-heavy) host computation.
+fn busy_loop(iters: i64) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let c = b.const_int(3, Type::I32);
+    let (_, body, _iv) = b.affine_for(0, iters, 1);
+    {
+        let mut ib = OpBuilder::at_end(b.module_mut(), body);
+        ib.muli(c, c);
+        ib.affine_yield();
+    }
+    m
+}
+
+#[test]
+fn max_cycles_terminates_long_run_with_progress() {
+    let m = long_ext_op(1_000_000_000);
+    let lib = SimLibrary::standard();
+    let err = simulate_with(
+        &m,
+        &lib,
+        &options(
+            RunLimits {
+                max_cycles: 1_000,
+                ..RunLimits::default()
+            },
+            None,
+        ),
+    )
+    .unwrap_err();
+    let SimError::Limit(l) = err else {
+        panic!("expected Limit, got {err}");
+    };
+    assert_eq!(l.kind, LimitKind::Cycles);
+    assert_eq!(l.limit, 1_000);
+    assert!(l.progress.cycles > 1_000, "{:?}", l.progress);
+    assert!(l.progress.events > 0, "{:?}", l.progress);
+}
+
+#[test]
+fn wall_deadline_terminates_busy_loop() {
+    // 2B iterations would take minutes; the deadline stops it within one
+    // interpreter epoch of 10 ms.
+    let m = busy_loop(2_000_000_000);
+    let lib = SimLibrary::standard();
+    let err = simulate_with(
+        &m,
+        &lib,
+        &options(
+            RunLimits {
+                wall_deadline: Some(Duration::from_millis(10)),
+                ..RunLimits::unlimited()
+            },
+            None,
+        ),
+    )
+    .unwrap_err();
+    let SimError::Limit(l) = err else {
+        panic!("expected Limit, got {err}");
+    };
+    assert_eq!(l.kind, LimitKind::WallClock);
+    assert!(l.progress.ops > 0, "{:?}", l.progress);
+}
+
+#[test]
+fn event_limit_reports_event_kind() {
+    let m = long_ext_op(4);
+    let lib = SimLibrary::standard();
+    let err = simulate_with(
+        &m,
+        &lib,
+        &options(
+            RunLimits {
+                max_events: 1,
+                ..RunLimits::default()
+            },
+            None,
+        ),
+    )
+    .unwrap_err();
+    let SimError::Limit(l) = err else {
+        panic!("expected Limit, got {err}");
+    };
+    assert_eq!(l.kind, LimitKind::Events);
+}
+
+#[test]
+fn pre_cancelled_run_stops_on_first_epoch() {
+    let m = long_ext_op(1_000_000);
+    let lib = SimLibrary::standard();
+    let token = CancelToken::new();
+    token.cancel();
+    let err = simulate_with(&m, &lib, &options(RunLimits::default(), Some(token))).unwrap_err();
+    assert!(matches!(err, SimError::Cancelled(_)), "{err}");
+}
+
+#[test]
+fn concurrent_cancel_stops_busy_loop() {
+    let m = busy_loop(2_000_000_000);
+    let lib = SimLibrary::standard();
+    let token = CancelToken::new();
+    let remote = token.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        remote.cancel();
+    });
+    // Generous event budget as a backstop so a broken token cannot hang CI;
+    // the wall deadline below it would also fire long before that.
+    let err = simulate_with(
+        &m,
+        &lib,
+        &options(
+            RunLimits {
+                wall_deadline: Some(Duration::from_secs(60)),
+                ..RunLimits::default()
+            },
+            Some(token),
+        ),
+    )
+    .unwrap_err();
+    canceller.join().unwrap();
+    let SimError::Cancelled(progress) = err else {
+        panic!("expected Cancelled, got {err}");
+    };
+    assert!(progress.ops > 0, "{progress:?}");
+}
+
+#[test]
+fn limits_do_not_affect_short_runs() {
+    // A run comfortably inside every budget completes normally.
+    let m = long_ext_op(64);
+    let lib = SimLibrary::standard();
+    let report = simulate_with(
+        &m,
+        &lib,
+        &options(
+            RunLimits {
+                max_cycles: 10_000,
+                max_events: 10_000,
+                max_live_tensor_bytes: 1 << 20,
+                wall_deadline: Some(Duration::from_secs(30)),
+            },
+            Some(CancelToken::new()),
+        ),
+    )
+    .unwrap();
+    assert_eq!(report.cycles, 64);
+}

@@ -60,7 +60,7 @@ fn memory_ports_never_double_book() {
         );
         let mut granted: Vec<(u64, u64)> = vec![];
         for &(start, dur) in &requests {
-            let (actual, finish) = machine.memory_mut(mem).reserve(start, dur);
+            let (actual, finish) = machine.memory_mut(mem).unwrap().reserve(start, dur);
             assert!(actual >= start, "requests = {requests:?}");
             assert_eq!(finish, actual + dur, "requests = {requests:?}");
             granted.push((actual, finish));

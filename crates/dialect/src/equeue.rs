@@ -434,6 +434,22 @@ pub struct ReadView {
     pub conn: Option<ValueId>,
 }
 
+/// Converts a `segments` attribute to counts, rejecting negative entries
+/// (an `i64 as usize` cast would wrap them to huge counts).
+fn segment_counts<const N: usize>(seg: &[i64]) -> Option<[usize; N]> {
+    let mut out = [0usize; N];
+    for (slot, &v) in out.iter_mut().zip(seg) {
+        *slot = usize::try_from(v).ok()?;
+    }
+    Some(out)
+}
+
+/// Sums operand-group counts without overflow (attacker-controlled counts
+/// near `usize::MAX` must not panic in debug builds).
+fn checked_sum(counts: &[usize]) -> Option<usize> {
+    counts.iter().try_fold(0usize, |acc, &c| acc.checked_add(c))
+}
+
 /// Decodes an `equeue.read`.
 ///
 /// # Errors
@@ -448,8 +464,9 @@ pub fn read_view(m: &Module, op: OpId) -> Result<ReadView, String> {
     if seg.len() != 3 {
         return Err("equeue.read 'segments' must have 3 entries".into());
     }
-    let (nb, ni, nc) = (seg[0] as usize, seg[1] as usize, seg[2] as usize);
-    if nb != 1 || nc > 1 || data.operands.len() != nb + ni + nc {
+    let [nb, ni, nc] =
+        segment_counts::<3>(seg).ok_or("equeue.read 'segments' entries must be non-negative")?;
+    if nb != 1 || nc > 1 || Some(data.operands.len()) != checked_sum(&[nb, ni, nc]) {
         return Err("equeue.read segments do not match operands".into());
     }
     Ok(ReadView {
@@ -490,13 +507,9 @@ pub fn write_view(m: &Module, op: OpId) -> Result<WriteView, String> {
     if seg.len() != 4 {
         return Err("equeue.write 'segments' must have 4 entries".into());
     }
-    let (nv, nb, ni, nc) = (
-        seg[0] as usize,
-        seg[1] as usize,
-        seg[2] as usize,
-        seg[3] as usize,
-    );
-    if nv != 1 || nb != 1 || nc > 1 || data.operands.len() != nv + nb + ni + nc {
+    let [nv, nb, ni, nc] =
+        segment_counts::<4>(seg).ok_or("equeue.write 'segments' entries must be non-negative")?;
+    if nv != 1 || nb != 1 || nc > 1 || Some(data.operands.len()) != checked_sum(&[nv, nb, ni, nc]) {
         return Err("equeue.write segments do not match operands".into());
     }
     Ok(WriteView {
@@ -540,7 +553,8 @@ pub fn memcpy_view(m: &Module, op: OpId) -> Result<MemcpyView, String> {
     if seg.len() != 5 {
         return Err("equeue.memcpy 'segments' must have 5 entries".into());
     }
-    let nc = seg[4] as usize;
+    let nc = usize::try_from(seg[4])
+        .map_err(|_| "equeue.memcpy 'segments' entries must be non-negative")?;
     if seg[..4] != [1, 1, 1, 1] || nc > 1 || data.operands.len() != 4 + nc {
         return Err("equeue.memcpy segments do not match operands".into());
     }
@@ -590,7 +604,11 @@ pub fn launch_view(m: &Module, op: OpId) -> Result<LaunchView, String> {
     if data.results.is_empty() {
         return Err("equeue.launch must produce a done signal".into());
     }
-    let body = m.region(data.regions[0]).blocks[0];
+    let body = *m
+        .region(data.regions[0])
+        .blocks
+        .first()
+        .ok_or("equeue.launch region has no body block")?;
     Ok(LaunchView {
         dep: data.operands[0],
         proc: data.operands[1],

@@ -197,10 +197,15 @@ impl Scope {
         self.stack.push(HashMap::new());
     }
     fn pop(&mut self) {
-        self.stack.pop();
+        // The root scope always survives so `define` has somewhere to write.
+        if self.stack.len() > 1 {
+            self.stack.pop();
+        }
     }
     fn define(&mut self, name: &str, v: ValueId) {
-        self.stack.last_mut().unwrap().insert(name.to_string(), v);
+        if let Some(top) = self.stack.last_mut() {
+            top.insert(name.to_string(), v);
+        }
     }
     fn lookup(&self, name: &str) -> Option<ValueId> {
         self.stack.iter().rev().find_map(|s| s.get(name).copied())
@@ -347,7 +352,8 @@ impl<'a> Parser<'a> {
                 let mut s = String::new();
                 while let Some(c) = self.peek_char() {
                     if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'!') {
-                        s.push(self.bump().unwrap() as char);
+                        self.bump();
+                        s.push(c as char);
                     } else {
                         break;
                     }
@@ -362,7 +368,8 @@ impl<'a> Parser<'a> {
         let mut s = String::new();
         while let Some(c) = self.peek_char() {
             if c.is_ascii_alphanumeric() || c == b'_' {
-                s.push(self.bump().unwrap() as char);
+                self.bump();
+                s.push(c as char);
             } else {
                 break;
             }
@@ -380,7 +387,8 @@ impl<'a> Parser<'a> {
         }
         while let Some(c) = self.peek_char() {
             if c.is_ascii_digit() {
-                s.push(self.bump().unwrap() as char);
+                self.bump();
+                s.push(c as char);
             } else {
                 break;
             }
@@ -388,10 +396,12 @@ impl<'a> Parser<'a> {
         let mut is_float = false;
         if self.peek_char() == Some(b'.') {
             is_float = true;
-            s.push(self.bump().unwrap() as char);
+            self.bump();
+            s.push('.');
             while let Some(c) = self.peek_char() {
                 if c.is_ascii_digit() {
-                    s.push(self.bump().unwrap() as char);
+                    self.bump();
+                    s.push(c as char);
                 } else {
                     break;
                 }
@@ -449,7 +459,8 @@ impl<'a> Parser<'a> {
                 b',' | b')' | b'}' | b']' | b'\n' if depth == 0 => break,
                 _ => {}
             }
-            s.push(self.bump().unwrap() as char);
+            self.bump();
+            s.push(c as char);
         }
         if s.trim().is_empty() {
             return Err(self.err("expected a type"));
@@ -781,20 +792,21 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                if !items.is_empty() && items.iter().all(|a| matches!(a, Attr::Int(_))) {
-                    Ok(Attr::IntArray(
-                        items.iter().map(|a| a.as_int().unwrap()).collect(),
-                    ))
-                } else if !items.is_empty() && items.iter().all(|a| matches!(a, Attr::Str(_))) {
-                    Ok(Attr::StrArray(
-                        items
-                            .iter()
-                            .map(|a| a.as_str().unwrap().to_string())
-                            .collect(),
-                    ))
-                } else {
-                    Ok(Attr::Array(items))
+                // Homogeneous lists collapse to the compact array attrs; a
+                // mixed (or empty) list stays generic.
+                if !items.is_empty() {
+                    if let Some(ints) = items.iter().map(Attr::as_int).collect::<Option<Vec<_>>>() {
+                        return Ok(Attr::IntArray(ints));
+                    }
+                    if let Some(strs) = items
+                        .iter()
+                        .map(|a| a.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                    {
+                        return Ok(Attr::StrArray(strs));
+                    }
                 }
+                Ok(Attr::Array(items))
             }
             _ => {
                 let save = self.save();

@@ -47,7 +47,7 @@ fn assert_compiled_equivalent(name: &str, module: Module) {
     );
     let golden = fresh[0];
 
-    let compiled = CompiledModule::compile(module, SimLibrary::standard());
+    let compiled = CompiledModule::compile(module, SimLibrary::standard()).expect("compile");
     for i in 0..RUNS {
         let got = fingerprint(&compiled.simulate(&opts).expect("compiled simulation"));
         assert_eq!(
@@ -114,7 +114,7 @@ fn fir_traced_compiled_equivalence() {
     let opts = SimOptions::default();
     let lib = SimLibrary::standard();
     let fresh = simulate_with(&prog.module, &lib, &opts).expect("fresh simulation");
-    let compiled = CompiledModule::compile(prog.module, lib);
+    let compiled = CompiledModule::compile(prog.module, lib).expect("compile");
     let a = compiled.simulate(&opts).expect("first compiled run");
     let b = compiled.simulate(&opts).expect("second compiled run");
     assert_eq!(fingerprint(&a), fingerprint(&fresh));
