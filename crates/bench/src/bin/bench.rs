@@ -2,13 +2,19 @@
 //! scenarios plus engine-focused microworkloads, and writes
 //! `BENCH_engine.json` so successive PRs have a perf trajectory.
 //!
-//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [--fault-matrix] [<output-path>]]`
+//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [--backend fused|interp] [--iters N] [--fault-matrix] [<output-path>]]`
 //! (default output: `BENCH_engine.json` in the current directory).
 //!
 //! * `--jobs N` — worker threads for the sweep scenarios (`fig12_small_sweep`);
 //!   default is the machine's available parallelism, `--jobs 1` forces the
 //!   sequential path. Cycles/events/ops are bit-identical at any job count —
 //!   only wall-clock changes.
+//! * `--backend fused|interp` — execution backend (default `fused`, the
+//!   threaded-code loop-trace runner; `interp` forces the reference
+//!   interpreter). Counters are bit-identical either way — the CI drift
+//!   guard runs both and compares.
+//! * `--iters N` — override every scenario's timed iteration count
+//!   (quick smoke runs use `--iters 1`).
 //! * `--filter SUBSTR` — run only scenarios whose name contains `SUBSTR`
 //!   (perf-iteration mode). The emitted JSON then holds a *subset* of the
 //!   scenarios and must not be committed: the CI drift guard compares the
@@ -27,8 +33,9 @@
 //!       "cycles": 1835008,           // simulated cycles (must not drift)
 //!       "events": 12345,             // scheduler wakes per run
 //!       "ops": 67890,                // ops interpreted per run
-//!       "iters": 5,                  // timed iterations (1 warm-up untimed)
+//!       "iters": 5,                  // timed iterations (warm-ups untimed)
 //!       "best_ms": 12.3,             // fastest iteration, wall ms
+//!       "median_ms": 12.9,           // median iteration, wall ms
 //!       "mean_ms": 13.1              // mean iteration, wall ms
 //!     }
 //!   ]
@@ -46,8 +53,8 @@
 //! absolute numbers, across machines.
 
 use equeue_bench::timing::{time, Sample};
-use equeue_bench::{fig12_sweep_jobs, pool, run_quiet, scenarios};
-use equeue_core::{CompiledModule, SimLibrary, SimOptions, SimReport};
+use equeue_bench::{fig12_sweep_jobs_backend, pool, run_quiet, scenarios};
+use equeue_core::{Backend, CompiledModule, SimLibrary, SimOptions, SimReport};
 use equeue_dialect::ConvDims;
 use equeue_gen::{
     build_stage_program, generate_fir, generate_systolic, FirCase, FirSpec, Stage, SystolicSpec,
@@ -68,10 +75,11 @@ struct Row {
 /// counters of a reference run. The module is compiled once — the layout
 /// prepass runs outside the timed region, so the row measures execution,
 /// not recompilation.
-fn sim_row(name: &str, iters: u32, module: Module) -> Row {
+fn sim_row(name: &str, iters: u32, module: Module, backend: Backend) -> Row {
     let compiled = CompiledModule::compile(module, SimLibrary::standard()).expect("compile");
     let opts = SimOptions {
         trace: false,
+        backend,
         ..Default::default()
     };
     let run = || compiled.simulate(&opts).expect("simulation");
@@ -91,6 +99,9 @@ struct Args {
     filter: Option<String>,
     out_path: String,
     fault_matrix: bool,
+    backend: Backend,
+    /// Overrides every scenario's timed iteration count when set.
+    iters: Option<u32>,
 }
 
 fn parse_args() -> Args {
@@ -98,6 +109,8 @@ fn parse_args() -> Args {
     let mut filter = None;
     let mut out_path: Option<String> = None;
     let mut fault_matrix = false;
+    let mut backend = Backend::default();
+    let mut iters = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -109,9 +122,31 @@ fn parse_args() -> Args {
                 }));
             }
             "--fault-matrix" => fault_matrix = true,
+            "--backend" => {
+                backend = match argv.next().as_deref() {
+                    Some("fused") => Backend::Fused,
+                    Some("interp") => Backend::Interp,
+                    other => {
+                        eprintln!(
+                            "bench: --backend needs 'fused' or 'interp' (got {})",
+                            other.unwrap_or("nothing")
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--iters" => {
+                iters = match argv.next().and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("bench: --iters needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             flag if flag.starts_with('-') => {
                 eprintln!(
-                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / --fault-matrix / <output-path>)"
+                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / --backend fused|interp / --iters N / --fault-matrix / <output-path>)"
                 );
                 std::process::exit(2);
             }
@@ -139,6 +174,8 @@ fn parse_args() -> Args {
         filter,
         out_path,
         fault_matrix,
+        backend,
+        iters,
     }
 }
 
@@ -156,21 +193,24 @@ fn run_fault_matrix() -> ! {
 
     let golden = run_quiet(&scenarios::matmul_linalg(8));
 
-    // Differential check: zero faults applied → bit-identical counters.
-    let mut unfaulted = scenarios::matmul_linalg(8);
-    assert_eq!(apply_faults(&mut unfaulted, &[]), 0);
-    let again = run_quiet(&unfaulted);
-    assert_eq!(
-        (
-            golden.cycles,
-            golden.events_processed,
-            golden.ops_interpreted
-        ),
-        (again.cycles, again.events_processed, again.ops_interpreted),
-        "zero-fault injected run diverged from golden"
-    );
+    // Differential check: zero faults applied → bit-identical counters —
+    // under both execution backends.
+    for backend in [Backend::Fused, Backend::Interp] {
+        let mut unfaulted = scenarios::matmul_linalg(8);
+        assert_eq!(apply_faults(&mut unfaulted, &[]), 0);
+        let again = equeue_bench::run_quiet_backend(&unfaulted, backend);
+        assert_eq!(
+            (
+                golden.cycles,
+                golden.events_processed,
+                golden.ops_interpreted
+            ),
+            (again.cycles, again.events_processed, again.ops_interpreted),
+            "zero-fault injected run diverged from golden ({backend:?} backend)"
+        );
+    }
     println!(
-        "fault-matrix: zero-fault run bit-identical (cycles {}, events {}, ops {})",
+        "fault-matrix: zero-fault run bit-identical on both backends (cycles {}, events {}, ops {})",
         golden.cycles, golden.events_processed, golden.ops_interpreted
     );
 
@@ -227,34 +267,60 @@ fn run_fault_matrix() -> ! {
         ] {
             let mut module = module;
             let applied = apply_faults(&mut module, faults);
-            let opts = equeue_core::SimOptions {
-                trace: false,
-                limits,
-                ..Default::default()
-            };
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                simulate_with(&module, equeue_bench::standard_library(), &opts)
-            }));
-            match outcome {
-                Ok(Ok(r)) => println!(
-                    "fault-matrix: {name} on {scenario} (applied {applied}): ran to cycle {}",
-                    r.cycles
-                ),
-                Ok(Err(e)) => println!(
-                    "fault-matrix: {name} on {scenario} (applied {applied}): SimError: {e}"
-                ),
-                Err(_) => {
-                    eprintln!("fault-matrix: {name} on {scenario}: PANICKED");
+            // Run the perturbed module under both backends: neither may
+            // panic, and both must reach the same outcome (identical
+            // counters on success, the same error kind on failure).
+            let mut outcomes = vec![];
+            for backend in [Backend::Fused, Backend::Interp] {
+                let opts = equeue_core::SimOptions {
+                    trace: false,
+                    limits,
+                    backend,
+                    ..Default::default()
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    simulate_with(&module, equeue_bench::standard_library(), &opts)
+                }));
+                match &outcome {
+                    Ok(Ok(r)) => println!(
+                        "fault-matrix[{backend:?}]: {name} on {scenario} (applied {applied}): ran to cycle {}",
+                        r.cycles
+                    ),
+                    Ok(Err(e)) => println!(
+                        "fault-matrix[{backend:?}]: {name} on {scenario} (applied {applied}): SimError: {e}"
+                    ),
+                    Err(_) => {
+                        eprintln!("fault-matrix[{backend:?}]: {name} on {scenario}: PANICKED");
+                        failures += 1;
+                    }
+                }
+                outcomes.push(outcome);
+            }
+            if let [Ok(a), Ok(b)] = &outcomes[..] {
+                let agree = match (a, b) {
+                    (Ok(ra), Ok(rb)) => {
+                        (ra.cycles, ra.events_processed, ra.ops_interpreted)
+                            == (rb.cycles, rb.events_processed, rb.ops_interpreted)
+                    }
+                    (Err(ea), Err(eb)) => std::mem::discriminant(ea) == std::mem::discriminant(eb),
+                    _ => false,
+                };
+                if !agree {
+                    eprintln!(
+                        "fault-matrix: {name} on {scenario}: backends diverged (fused {a:?} vs interp {b:?})"
+                    );
                     failures += 1;
                 }
             }
         }
     }
     if failures > 0 {
-        eprintln!("fault-matrix: {failures} perturbation(s) panicked");
+        eprintln!("fault-matrix: {failures} perturbation(s) panicked or diverged");
         std::process::exit(1);
     }
-    println!("fault-matrix: all perturbations surfaced as reports or typed SimErrors");
+    println!(
+        "fault-matrix: all perturbations surfaced as reports or typed SimErrors on both backends"
+    );
     std::process::exit(0);
 }
 
@@ -265,18 +331,20 @@ fn main() {
     }
     let enabled = |name: &str| -> bool { args.filter.as_deref().is_none_or(|f| name.contains(f)) };
     println!(
-        "bench: jobs = {} ({} requested){}",
+        "bench: jobs = {} ({} requested), backend = {:?}{}",
         pool::resolve_jobs(args.jobs),
         if args.jobs == 0 {
             "auto".to_string()
         } else {
             args.jobs.to_string()
         },
+        args.backend,
         args.filter
             .as_deref()
             .map(|f| format!(", filter = '{f}'"))
             .unwrap_or_default(),
     );
+    let iters = |default: u32| args.iters.unwrap_or(default);
     let mut rows: Vec<Row> = vec![];
 
     // Figure scenarios: one representative point each (generation and the
@@ -291,7 +359,12 @@ fn main() {
             },
             ConvDims::square(16, 2, 3, 1),
         );
-        rows.push(sim_row("fig09_16x16_ws", 10, fig09.module));
+        rows.push(sim_row(
+            "fig09_16x16_ws",
+            iters(10),
+            fig09.module,
+            args.backend,
+        ));
     }
 
     if enabled("fig11_last_stage_6x6") {
@@ -301,12 +374,22 @@ fn main() {
             (4, 4),
             Dataflow::Ws,
         );
-        rows.push(sim_row("fig11_last_stage_6x6", 10, fig11.module));
+        rows.push(sim_row(
+            "fig11_last_stage_6x6",
+            iters(10),
+            fig11.module,
+            args.backend,
+        ));
     }
 
     if enabled("fir_balanced4") {
         let fir = generate_fir(FirSpec::default(), FirCase::Balanced4);
-        rows.push(sim_row("fir_balanced4", 10, fir.module));
+        rows.push(sim_row(
+            "fir_balanced4",
+            iters(10),
+            fir.module,
+            args.backend,
+        ));
     }
 
     // The fig12 subsampled sweep end-to-end (generation + simulation for
@@ -315,8 +398,8 @@ fn main() {
     // order-independent, so the committed values hold at any --jobs width.
     if enabled("fig12_small_sweep") {
         let mut guard = (0u64, 0u64, 0u64);
-        let sample = time("fig12_small_sweep", 3, || {
-            let rows = fig12_sweep_jobs(false, args.jobs);
+        let sample = time("fig12_small_sweep", iters(3), || {
+            let rows = fig12_sweep_jobs_backend(false, args.jobs, args.backend);
             guard = rows.iter().fold((0, 0, 0), |acc, r| {
                 (
                     acc.0 + r.cycles,
@@ -336,16 +419,27 @@ fn main() {
 
     // Engine microworkloads.
     if enabled("matmul64_linalg") {
-        rows.push(sim_row("matmul64_linalg", 10, scenarios::matmul_linalg(64)));
+        rows.push(sim_row(
+            "matmul64_linalg",
+            iters(10),
+            scenarios::matmul_linalg(64),
+            args.backend,
+        ));
     }
     if enabled("matmul64_affine") {
-        rows.push(sim_row("matmul64_affine", 5, scenarios::matmul_affine(64)));
+        rows.push(sim_row(
+            "matmul64_affine",
+            iters(5),
+            scenarios::matmul_affine(64),
+            args.backend,
+        ));
     }
     if enabled("tensor_stream_256x128") {
         rows.push(sim_row(
             "tensor_stream_256x128",
-            10,
+            iters(10),
             scenarios::tensor_stream(256, 128),
+            args.backend,
         ));
     }
 
@@ -364,13 +458,14 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"cycles\": {}, \"events\": {}, \"ops\": {}, \
-             \"iters\": {}, \"best_ms\": {:.3}, \"mean_ms\": {:.3}}}{}",
+             \"iters\": {}, \"best_ms\": {:.3}, \"median_ms\": {:.3}, \"mean_ms\": {:.3}}}{}",
             r.sample.name,
             r.cycles,
             r.events,
             r.ops,
             r.sample.iters,
             r.sample.best_ms,
+            r.sample.median_ms,
             r.sample.mean_ms,
             if i + 1 < rows.len() { "," } else { "" },
         );

@@ -16,7 +16,7 @@
 pub mod pool;
 
 use equeue_core::{
-    simulate_with, CancelToken, RunLimits, SimError, SimLibrary, SimOptions, SimReport,
+    simulate_with, Backend, CancelToken, RunLimits, SimError, SimLibrary, SimOptions, SimReport,
 };
 use equeue_dialect::ConvDims;
 use equeue_gen::{
@@ -59,11 +59,22 @@ pub fn to_conv_shape(d: ConvDims) -> scalesim::ConvShape {
 
 /// Simulates a module without tracing (sweep mode).
 pub fn run_quiet(module: &equeue_ir::Module) -> SimReport {
+    run_quiet_backend(module, Backend::default())
+}
+
+/// [`run_quiet`] under an explicit execution backend — the harness for
+/// fused-vs-interpreter differential checks.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (benchmark scenarios are known-good).
+pub fn run_quiet_backend(module: &equeue_ir::Module, backend: Backend) -> SimReport {
     simulate_with(
         module,
         standard_library(),
         &SimOptions {
             trace: false,
+            backend,
             ..Default::default()
         },
     )
@@ -368,9 +379,21 @@ pub fn fig12_sweep(full: bool) -> Vec<Fig12Row> {
 /// configuration order with bit-identical cycles/events/ops at any job
 /// count.
 pub fn fig12_sweep_jobs(full: bool, jobs: usize) -> Vec<Fig12Row> {
+    fig12_sweep_jobs_backend(full, jobs, Backend::default())
+}
+
+/// [`fig12_sweep_jobs`] under an explicit execution backend. Cycles, wakes,
+/// and interpreted-op counts are bit-identical across backends (the fused
+/// trace runner's contract); only wall-clock differs.
+pub fn fig12_sweep_jobs_backend(full: bool, jobs: usize, backend: Backend) -> Vec<Fig12Row> {
     let configs = fig12_configs(full);
-    pool::run_batch(jobs, &configs, |&(ah, hw, f, c, n, df)| {
-        fig12_point(ah, hw, f, c, n, df)
+    pool::run_batch(jobs, &configs, move |&(ah, hw, f, c, n, df)| {
+        let opts = SimOptions {
+            trace: false,
+            backend,
+            ..Default::default()
+        };
+        try_fig12_point(ah, hw, f, c, n, df, &opts).expect("simulation")
     })
 }
 
@@ -395,6 +418,7 @@ pub fn fig12_sweep_cancellable(
             trace: false,
             limits,
             cancel: Some(cancel.clone()),
+            ..Default::default()
         };
         match try_fig12_point(ah, hw, f, c, n, df, &opts) {
             Ok(row) => PointStatus::Done(row),
@@ -582,48 +606,77 @@ pub mod scenarios {
 pub mod timing {
     use std::time::Instant;
 
+    /// Untimed warm-up iterations before measurement begins. The first few
+    /// runs of a scenario pay one-off costs (allocator growth, page faults,
+    /// branch-predictor training) that made short benches like
+    /// `fir_balanced4` report means several times their steady-state best;
+    /// a fixed warm-up burst drains those before the clock starts.
+    pub const WARMUP_ITERS: u32 = 3;
+
     /// One measured benchmark case.
     #[derive(Debug, Clone)]
     pub struct Sample {
         /// Case name (`"fig09/equeue_16x16_ws"`).
         pub name: String,
-        /// Iterations measured (after one warm-up).
+        /// Iterations measured (after the warm-up burst).
         pub iters: u32,
         /// Fastest single-iteration wall time, milliseconds.
         pub best_ms: f64,
         /// Mean single-iteration wall time, milliseconds.
         pub mean_ms: f64,
+        /// Median single-iteration wall time, milliseconds. Robust to the
+        /// occasional scheduling hiccup that skews the mean.
+        pub median_ms: f64,
     }
 
     impl Sample {
         /// One formatted report row.
         pub fn row(&self) -> String {
             format!(
-                "{:<40} {:>5} iters   best {:>10.3} ms   mean {:>10.3} ms",
-                self.name, self.iters, self.best_ms, self.mean_ms
+                "{:<40} {:>5} iters   best {:>10.3} ms   median {:>10.3} ms   mean {:>10.3} ms",
+                self.name, self.iters, self.best_ms, self.median_ms, self.mean_ms
             )
         }
     }
 
-    /// Times `f` over `iters` iterations (plus one untimed warm-up) and
-    /// prints the report row.
+    /// Median of a sample list (mean of the middle pair for even lengths).
+    fn median(samples: &mut [f64]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.sort_by(f64::total_cmp);
+        let mid = samples.len() / 2;
+        if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        }
+    }
+
+    /// Times `f` over `iters` iterations (after [`WARMUP_ITERS`] untimed
+    /// warm-ups) and prints the report row.
     pub fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Sample {
         let iters = iters.max(1);
-        std::hint::black_box(f()); // warm-up
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
         let mut best = f64::INFINITY;
         let mut total = 0.0;
+        let mut all = Vec::with_capacity(iters as usize);
         for _ in 0..iters {
             let t0 = Instant::now();
             std::hint::black_box(f());
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             best = best.min(ms);
             total += ms;
+            all.push(ms);
         }
         let sample = Sample {
             name: name.to_string(),
             iters,
             best_ms: best,
             mean_ms: total / f64::from(iters),
+            median_ms: median(&mut all),
         };
         println!("{}", sample.row());
         sample
@@ -639,6 +692,7 @@ mod tests {
         let s = timing::time("noop", 3, || 1 + 1);
         assert_eq!(s.iters, 3);
         assert!(s.best_ms >= 0.0 && s.mean_ms >= s.best_ms);
+        assert!(s.median_ms >= s.best_ms && s.median_ms <= s.mean_ms * 3.0 + f64::EPSILON);
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //! The handle is `Send + Sync` (statically asserted below): share one
 //! `CompiledModule` across a worker pool by reference and call
 //! [`CompiledModule::simulate`] from each thread.
+//!
+//! The captured [`Plan`] also carries the fused loop traces built for the
+//! [`crate::Backend::Fused`] execution backend; they are plain immutable
+//! data, so the backend remains a **per-run** choice — one compiled handle
+//! can serve `Fused` and `Interp` runs concurrently, with bit-identical
+//! cycle/event/op counts between them (see `docs/fused-backend.md`).
 
-use crate::engine::{run_with_plan, Plan, SimError, SimOptions};
+use crate::engine::{run_with_plan, Backend, Plan, SimError, SimOptions};
 use crate::library::SimLibrary;
 use crate::profile::SimReport;
 use equeue_ir::Module;
@@ -187,6 +193,7 @@ const _: () = {
     _send_sync::<Plan>();
     _send_sync::<SimLibrary>();
     _send_sync::<SimOptions>();
+    _send_sync::<Backend>();
     _send_sync::<crate::CancelToken>();
     _send_sync::<crate::RunLimits>();
     _send_sync::<SimError>();
@@ -298,5 +305,23 @@ mod tests {
             compiled.simulate(&SimOptions::default()).unwrap().cycles,
             loud.cycles
         );
+    }
+
+    #[test]
+    fn backend_is_a_per_run_choice() {
+        // One compiled handle serves both execution backends; counters
+        // must be bit-identical between them.
+        let compiled = CompiledModule::compile_standard(chain_module(10)).unwrap();
+        let run = |backend| {
+            let r = compiled
+                .simulate(&SimOptions {
+                    trace: false,
+                    backend,
+                    ..Default::default()
+                })
+                .unwrap();
+            (r.cycles, r.events_processed, r.ops_interpreted)
+        };
+        assert_eq!(run(Backend::Fused), run(Backend::Interp));
     }
 }

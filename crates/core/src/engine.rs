@@ -64,10 +64,27 @@ use std::time::Instant;
 /// Scheduler wakes per epoch: the cadence at which the engine polls the
 /// cancel token and the wall-clock deadline (a power of two, so the check is
 /// a mask). Cancellation latency is bounded by one epoch.
-const WAKE_EPOCH: u64 = 1024;
+pub(crate) const WAKE_EPOCH: u64 = 1024;
 /// Interpreted-op cadence for the same polls, bounding zero-time op bursts
 /// (tight loops that never touch the scheduler heap).
-const OP_EPOCH: u64 = 4096;
+pub(crate) const OP_EPOCH: u64 = 4096;
+
+/// Which execution backend interprets launch bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Fused threaded-code execution (the default): static affine loop
+    /// bodies are pre-compiled at [`Plan::build`] time into dispatch-free
+    /// traces (see [`crate::fused`]); everything else — and every loop the
+    /// trace builder declines — runs on the interpreter. Counters
+    /// (cycles/events/ops) are bit-identical to [`Backend::Interp`].
+    /// Traces only engage when tracing is off; a trace-enabled run records
+    /// per-op events and therefore interprets op by op.
+    #[default]
+    Fused,
+    /// Pure op-by-op interpretation — the escape hatch (`--backend interp`
+    /// in the bench harness) and the reference for differential testing.
+    Interp,
+}
 
 /// Simulation options.
 #[derive(Debug, Clone)]
@@ -82,6 +99,10 @@ pub struct SimOptions {
     /// Cooperative cancellation: when the token fires, the run stops within
     /// one epoch with [`SimError::Cancelled`] carrying partial statistics.
     pub cancel: Option<CancelToken>,
+    /// Execution backend. [`Backend::Fused`] and [`Backend::Interp`]
+    /// produce bit-identical cycles, events, ops, and buffer contents; they
+    /// differ only in wall-clock speed.
+    pub backend: Backend,
 }
 
 impl Default for SimOptions {
@@ -90,6 +111,7 @@ impl Default for SimOptions {
             trace: true,
             limits: RunLimits::default(),
             cancel: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -172,11 +194,11 @@ pub(crate) fn run_with_plan(
 // ---------------------------------------------------------------------------
 
 /// A dense index into a frame's environment vector.
-type Slot = u32;
+pub(crate) type Slot = u32;
 
 /// Pre-decoded spawn recipe for one `equeue.launch`.
 #[derive(Debug)]
-struct LaunchInfo {
+pub(crate) struct LaunchInfo {
     /// Dependency signal operand.
     dep: Slot,
     /// Target processor operand.
@@ -200,7 +222,7 @@ struct LaunchInfo {
 /// Decoding happens once per module in [`Plan::build`]; execution dispatches
 /// on this enum without touching op names or attribute maps.
 #[derive(Debug)]
-enum OpCode {
+pub(crate) enum OpCode {
     /// Erased op, or an op unreachable by execution: skip.
     Erased,
     // ---- structure specification ----
@@ -365,10 +387,10 @@ enum OpCode {
 
 /// Pre-decoded form of one op.
 #[derive(Debug)]
-struct OpInfo {
-    code: OpCode,
+pub(crate) struct OpInfo {
+    pub(crate) code: OpCode,
     /// Result slots, in result order.
-    results: Vec<Slot>,
+    pub(crate) results: Vec<Slot>,
 }
 
 /// Value numbering of one frame scope.
@@ -388,6 +410,11 @@ pub(crate) struct Plan {
     scopes: Vec<ScopeLayout>,
     /// Indexed by `OpId::index()`.
     ops: Vec<OpInfo>,
+    /// Fused loop traces, indexed by the loop *body*'s `BlockId::index()`;
+    /// `None` for blocks that are not a fusible `affine.for` body. Built
+    /// unconditionally (it is cheap and pure); whether a run consults it is
+    /// decided per run by [`SimOptions::backend`].
+    pub(crate) fused: Vec<Option<Box<crate::fused::FusedLoop>>>,
 }
 
 /// Scope discovery scratch state.
@@ -525,7 +552,13 @@ impl Plan {
                 ops[op.index()] = decode_op(module, lib, op, s, &scopes, &free, &scope_of_root);
             }
         }
-        Plan { scopes, ops }
+
+        // -- 6. Fused loop traces: compile static affine loop bodies into
+        // dispatch-free instruction tables (see `crate::fused`). Purely
+        // derived from the decoded ops; loops the builder declines simply
+        // have no table entry and run on the interpreter.
+        let fused = crate::fused::build_fused(module, &ops);
+        Plan { scopes, ops, fused }
     }
 }
 
@@ -954,12 +987,12 @@ struct PendingEvent {
 
 /// Loop bookkeeping for `affine.for` / `affine.parallel` scopes.
 #[derive(Debug, Clone)]
-struct LoopState {
-    ivs: Vec<Slot>,
-    lowers: Vec<i64>,
-    uppers: Vec<i64>,
-    steps: Vec<i64>,
-    current: Vec<i64>,
+pub(crate) struct LoopState {
+    pub(crate) ivs: Vec<Slot>,
+    pub(crate) lowers: Vec<i64>,
+    pub(crate) uppers: Vec<i64>,
+    pub(crate) steps: Vec<i64>,
+    pub(crate) current: Vec<i64>,
 }
 
 impl LoopState {
@@ -988,18 +1021,18 @@ impl LoopState {
 }
 
 #[derive(Debug)]
-struct Scope {
-    block: BlockId,
-    idx: usize,
-    looping: Option<LoopState>,
+pub(crate) struct Scope {
+    pub(crate) block: BlockId,
+    pub(crate) idx: usize,
+    pub(crate) looping: Option<LoopState>,
 }
 
 /// An executing launch body: a dense slot-indexed environment plus a block
 /// stack. `scope` names the frame's [`ScopeLayout`] (diagnostics).
 #[derive(Debug)]
-struct Frame {
-    env: Vec<Option<SimValue>>,
-    stack: Vec<Scope>,
+pub(crate) struct Frame {
+    pub(crate) env: Vec<Option<SimValue>>,
+    pub(crate) stack: Vec<Scope>,
     done: SignalId,
     scope: u32,
 }
@@ -1008,12 +1041,12 @@ struct Frame {
 /// [`ProcProfile`] once at processor creation so the inner loop never
 /// hashes op-name strings.
 #[derive(Debug, Clone)]
-struct HotCycles {
-    load: u64,
-    store: u64,
-    cmpi: u64,
-    select: u64,
-    arith: [u64; BinOp::COUNT],
+pub(crate) struct HotCycles {
+    pub(crate) load: u64,
+    pub(crate) store: u64,
+    pub(crate) cmpi: u64,
+    pub(crate) select: u64,
+    pub(crate) arith: [u64; BinOp::COUNT],
 }
 
 impl HotCycles {
@@ -1033,13 +1066,13 @@ impl HotCycles {
 }
 
 #[derive(Debug)]
-struct ProcRuntime {
+pub(crate) struct ProcRuntime {
     comp: CompId,
     queue: VecDeque<PendingEvent>,
     frame: Option<Frame>,
-    clock: u64,
+    pub(crate) clock: u64,
     profile: ProcProfile,
-    hot: HotCycles,
+    pub(crate) hot: HotCycles,
 }
 
 /// A small inline buffer for buffer subscripts (tensor ranks are tiny);
@@ -1075,7 +1108,7 @@ impl IndexBuf {
 }
 
 /// What happened when a frame stepped one op.
-enum Step {
+pub(crate) enum Step {
     /// Keep stepping (zero time passed).
     Continue,
     /// Time passed; yield to the scheduler until `clock`.
@@ -1086,32 +1119,37 @@ enum Step {
     Finished,
 }
 
-struct Engine<'m> {
+pub(crate) struct Engine<'m> {
     module: &'m Module,
     plan: &'m Plan,
     lib: &'m SimLibrary,
-    options: SimOptions,
-    machine: Machine,
+    pub(crate) options: SimOptions,
+    pub(crate) machine: Machine,
     signals: SignalTable,
-    procs: Vec<ProcRuntime>,
+    pub(crate) procs: Vec<ProcRuntime>,
     proc_of_comp: HashMap<CompId, usize>,
-    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    pub(crate) heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
     seq: u64,
-    now: u64,
-    horizon: u64,
-    wakes: u64,
-    ops_interpreted: u64,
+    pub(crate) now: u64,
+    pub(crate) horizon: u64,
+    pub(crate) wakes: u64,
+    pub(crate) ops_interpreted: u64,
     /// Bytes of simultaneously-live tensor storage (for
     /// `max_live_tensor_bytes`).
     live_tensor_bytes: u64,
     /// Loop-bookkeeping iterations that executed no op (empty bodies);
     /// bounded alongside `max_events` so degenerate loops cannot spin the
     /// interpreter forever. Not reported — purely a safety counter.
-    idle_steps: u64,
+    pub(crate) idle_steps: u64,
     /// Absolute wall-clock deadline (run start + `wall_deadline`).
-    deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
     trace: Trace,
     host_mem: Option<CompId>,
+    /// Whether fused loop traces may run this run (backend is
+    /// [`Backend::Fused`] and tracing is off).
+    fused_on: bool,
+    /// Per-run fused-trace scratch (registers, costs, skip set).
+    pub(crate) fused: crate::fused::FusedScratch,
 }
 
 impl<'m> Engine<'m> {
@@ -1147,6 +1185,10 @@ impl<'m> Engine<'m> {
                 Trace::disabled()
             },
             host_mem: None,
+            // A trace-enabled run records per-op events, so it interprets
+            // op by op; fused traces engage only with tracing off.
+            fused_on: options.backend == Backend::Fused && !options.trace,
+            fused: crate::fused::FusedScratch::new(plan.fused.len()),
         };
         // The implicit host processor interprets the top block at time 0;
         // all its ops are free (orchestration, not datapath).
@@ -1189,7 +1231,7 @@ impl<'m> Engine<'m> {
         self.seq += 1;
     }
 
-    fn bump_horizon(&mut self, t: u64) {
+    pub(crate) fn bump_horizon(&mut self, t: u64) {
         if t > self.horizon {
             self.horizon = t;
         }
@@ -1503,7 +1545,7 @@ impl<'m> Engine<'m> {
         Ok(val.clone())
     }
 
-    fn lookup(&self, frame: &Frame, slot: Slot) -> Result<SimValue, SimError> {
+    pub(crate) fn lookup(&self, frame: &Frame, slot: Slot) -> Result<SimValue, SimError> {
         self.lookup_mode(frame, slot, true)
     }
 
@@ -1671,6 +1713,30 @@ impl<'m> Engine<'m> {
                     frame.stack.pop();
                     if frame.stack.is_empty() {
                         return self.finish_frame(p, frame, vec![]);
+                    }
+                }
+            }
+        }
+
+        // Fused-backend entry: when the current scope is a loop whose body
+        // has a pre-compiled trace (and the run hasn't declined it), hand
+        // the whole loop to the trace runner. It executes straight-line
+        // instructions — bit-identical counters — and returns to the
+        // event engine only at trace exits (contention, completion, limit
+        // epochs). `Ok(None)` means the runtime preflight declined (e.g. a
+        // cache-backed buffer): the run marks the block skipped and falls
+        // through to the interpreter.
+        if self.fused_on {
+            let plan: &'m Plan = self.plan;
+            if let Some(scope) = frame.stack.last() {
+                if scope.looping.is_some() {
+                    let bi = scope.block.index();
+                    if let Some(f) = plan.fused.get(bi).and_then(|o| o.as_deref()) {
+                        if !self.fused.skip[bi] {
+                            if let Some(step) = self.run_fused(p, frame, f, bi)? {
+                                return Ok(step);
+                            }
+                        }
                     }
                 }
             }

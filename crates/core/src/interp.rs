@@ -212,6 +212,44 @@ fn map_tensor(
     }))
 }
 
+/// A pre-decoded `arith.cmpi` predicate. Single source of truth for the
+/// comparison semantics: [`apply_cmpi`] and the engine's fused loop traces
+/// both dispatch through [`CmpPred::eval`], so the two can never drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpPred {
+    pub(crate) fn from_name(pred: &str) -> Option<CmpPred> {
+        Some(match pred {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "lt" => CmpPred::Lt,
+            "le" => CmpPred::Le,
+            "gt" => CmpPred::Gt,
+            "ge" => CmpPred::Ge,
+            _ => None?,
+        })
+    }
+
+    pub(crate) fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    }
+}
+
 /// Applies `arith.cmpi` with the given predicate string.
 ///
 /// # Errors
@@ -220,16 +258,8 @@ fn map_tensor(
 pub fn apply_cmpi(pred: &str, lhs: &SimValue, rhs: &SimValue) -> Result<SimValue, String> {
     let a = lhs.as_int().ok_or("cmpi needs integer operands")?;
     let b = rhs.as_int().ok_or("cmpi needs integer operands")?;
-    let r = match pred {
-        "eq" => a == b,
-        "ne" => a != b,
-        "lt" => a < b,
-        "le" => a <= b,
-        "gt" => a > b,
-        "ge" => a >= b,
-        _ => return Err(format!("unknown cmpi predicate '{pred}'")),
-    };
-    Ok(SimValue::Int(r as i64))
+    let p = CmpPred::from_name(pred).ok_or_else(|| format!("unknown cmpi predicate '{pred}'"))?;
+    Ok(SimValue::Int(p.eval(a, b) as i64))
 }
 
 /// Functional 2-D convolution over integer tensors (reference semantics for

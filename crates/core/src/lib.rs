@@ -94,6 +94,7 @@ mod compiled;
 mod engine;
 mod error;
 pub mod fault;
+mod fused;
 mod interp;
 mod library;
 mod machine;
@@ -103,7 +104,7 @@ mod trace;
 mod value;
 
 pub use compiled::CompiledModule;
-pub use engine::{simulate, simulate_with, SimOptions};
+pub use engine::{simulate, simulate_with, Backend, SimOptions};
 pub use error::{CancelToken, LimitExceeded, LimitKind, Progress, RunLimits, SimError};
 pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
 pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};

@@ -32,6 +32,17 @@ pub trait MemoryBehavior: Send {
 
     /// Model name for diagnostics.
     fn model_name(&self) -> &str;
+
+    /// If every single-element access costs the same, stateless latency
+    /// regardless of kind/address/history, that latency. `None` (the
+    /// default) means the latency is address- or history-dependent — such
+    /// memories are excluded from the engine's fused loop traces, which
+    /// pre-resolve cycle costs at trace-entry time. Stateful models (e.g.
+    /// [`CacheBehavior`]) must keep the default: returning `Some` here would
+    /// let traces bypass their `access_cycles` state updates.
+    fn uniform_scalar_cycles(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// SRAM: one access per bank per `cycles_per_access`; a burst of `elems`
@@ -58,6 +69,11 @@ impl MemoryBehavior for SramBehavior {
     fn model_name(&self) -> &str {
         "SRAM"
     }
+
+    fn uniform_scalar_cycles(&self) -> Option<u64> {
+        // One element always occupies a single beat: div_ceil(1, banks) == 1.
+        Some(self.cycles_per_access)
+    }
 }
 
 /// Register file: zero-latency access (the fabric the paper's systolic PEs
@@ -78,6 +94,10 @@ impl MemoryBehavior for RegisterBehavior {
 
     fn model_name(&self) -> &str {
         "Register"
+    }
+
+    fn uniform_scalar_cycles(&self) -> Option<u64> {
+        Some(0)
     }
 }
 
@@ -106,6 +126,10 @@ impl MemoryBehavior for DramBehavior {
 
     fn model_name(&self) -> &str {
         "DRAM"
+    }
+
+    fn uniform_scalar_cycles(&self) -> Option<u64> {
+        Some(self.latency + self.cycles_per_access)
     }
 }
 

@@ -52,6 +52,7 @@ fn bounded_options() -> SimOptions {
             wall_deadline: Some(Duration::from_secs(5)),
         },
         cancel: None,
+        ..Default::default()
     }
 }
 

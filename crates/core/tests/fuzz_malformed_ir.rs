@@ -168,6 +168,7 @@ fn tight_options() -> SimOptions {
             wall_deadline: Some(Duration::from_millis(500)),
         },
         cancel: None,
+        ..Default::default()
     }
 }
 

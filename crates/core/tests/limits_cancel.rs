@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use equeue_core::{
-    simulate_with, CancelToken, LimitKind, RunLimits, SimError, SimLibrary, SimOptions,
+    simulate_with, Backend, CancelToken, LimitKind, RunLimits, SimError, SimLibrary, SimOptions,
 };
 use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, EqueueBuilder};
 use equeue_ir::{Attr, Module, OpBuilder, Type};
@@ -15,6 +15,7 @@ fn options(limits: RunLimits, cancel: Option<CancelToken>) -> SimOptions {
         trace: false,
         limits,
         cancel,
+        ..Default::default()
     }
 }
 
@@ -168,6 +169,154 @@ fn concurrent_cancel_stops_busy_loop() {
         panic!("expected Cancelled, got {err}");
     };
     assert!(progress.ops > 0, "{progress:?}");
+}
+
+/// A launch whose body is a fusible `affine.for`: SRAM loads/stores plus
+/// scalar arithmetic, `iters` iterations. Under [`Backend::Fused`] the whole
+/// loop runs inside one trace (no contention: single processor, nothing else
+/// scheduled), so limits and cancellation must fire from *inside* the trace.
+fn fused_loop(iters: i64) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pe = b.create_proc(kinds::MAC);
+    let mem = b.create_mem(kinds::SRAM, &[iters as usize], 32, 2);
+    let buf = b.alloc(mem, &[iters as usize], Type::I32);
+    let start = b.control_start();
+    let l = b.launch(start, pe, &[buf], vec![]);
+    {
+        let v = l.body_args[0];
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        let one = ib.const_int(1, Type::I32);
+        let (_, body, iv) = ib.affine_for(0, iters, 1);
+        {
+            let mut lb = OpBuilder::at_end(ib.module_mut(), body);
+            let x = lb.affine_load(v, vec![iv]);
+            let y = lb.addi(x, one);
+            lb.affine_store(y, v, vec![iv]);
+            lb.affine_yield();
+        }
+        ib.ret(vec![]);
+    }
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+    m
+}
+
+fn with_backend(limits: RunLimits, cancel: Option<CancelToken>, backend: Backend) -> SimOptions {
+    SimOptions {
+        backend,
+        ..options(limits, cancel)
+    }
+}
+
+#[test]
+fn event_limit_fires_inside_fused_trace_with_progress() {
+    // 4096 iterations × 2 timed accesses ≫ the 64-event budget: the limit
+    // trips mid-trace. Bit identity extends to the error payload, so the
+    // two backends must return *equal* errors, not merely the same kind.
+    let m = fused_loop(4096);
+    let lib = SimLibrary::standard();
+    let limits = RunLimits {
+        max_events: 64,
+        ..RunLimits::default()
+    };
+    let fused = simulate_with(&m, &lib, &with_backend(limits, None, Backend::Fused)).unwrap_err();
+    let interp = simulate_with(&m, &lib, &with_backend(limits, None, Backend::Interp)).unwrap_err();
+    let SimError::Limit(l) = &fused else {
+        panic!("expected Limit, got {fused}");
+    };
+    assert_eq!(l.kind, LimitKind::Events);
+    assert!(l.progress.events > 64, "{:?}", l.progress);
+    assert!(l.progress.ops > 0, "{:?}", l.progress);
+    assert!(l.progress.cycles > 0, "{:?}", l.progress);
+    assert_eq!(fused, interp);
+}
+
+#[test]
+fn cycle_limit_fires_inside_fused_trace_with_progress() {
+    let m = fused_loop(4096);
+    let lib = SimLibrary::standard();
+    let limits = RunLimits {
+        max_cycles: 100,
+        ..RunLimits::default()
+    };
+    let fused = simulate_with(&m, &lib, &with_backend(limits, None, Backend::Fused)).unwrap_err();
+    let interp = simulate_with(&m, &lib, &with_backend(limits, None, Backend::Interp)).unwrap_err();
+    let SimError::Limit(l) = &fused else {
+        panic!("expected Limit, got {fused}");
+    };
+    assert_eq!(l.kind, LimitKind::Cycles);
+    assert!(l.progress.cycles > 100, "{:?}", l.progress);
+    assert!(l.progress.ops > 0, "{:?}", l.progress);
+    assert_eq!(fused, interp);
+}
+
+#[test]
+fn cancellation_is_observed_inside_fused_trace_with_progress() {
+    // A pre-cancelled token is caught at the engine's first wake, before
+    // any trace is entered — so to prove the *trace* polls the token, the
+    // cancel must land mid-run, while execution is deep inside the fused
+    // loop. The trace's wake/op epoch checks run on the same counter
+    // cadence as the interpreter's, so the token is observed promptly and
+    // the reported progress is nonzero.
+    let m = fused_loop(50_000_000);
+    let lib = SimLibrary::standard();
+    let token = CancelToken::new();
+    let remote = token.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        remote.cancel();
+    });
+    // Wall deadline as a backstop so a broken poll cannot hang CI.
+    let err = simulate_with(
+        &m,
+        &lib,
+        &with_backend(
+            RunLimits {
+                wall_deadline: Some(Duration::from_secs(60)),
+                ..RunLimits::unlimited()
+            },
+            Some(token),
+            Backend::Fused,
+        ),
+    )
+    .unwrap_err();
+    canceller.join().unwrap();
+    let SimError::Cancelled(progress) = err else {
+        panic!("expected Cancelled, got {err}");
+    };
+    assert!(progress.ops > 0, "{progress:?}");
+    assert!(progress.events > 0, "{progress:?}");
+    assert!(progress.cycles > 0, "{progress:?}");
+}
+
+#[test]
+fn wall_deadline_fires_inside_fused_trace() {
+    // Wall progress values depend on host timing, so only the fused run's
+    // own shape is asserted (kind + nonzero progress), not cross-backend
+    // equality.
+    let m = fused_loop(50_000_000);
+    let lib = SimLibrary::standard();
+    let err = simulate_with(
+        &m,
+        &lib,
+        &with_backend(
+            RunLimits {
+                wall_deadline: Some(Duration::from_millis(10)),
+                ..RunLimits::unlimited()
+            },
+            None,
+            Backend::Fused,
+        ),
+    )
+    .unwrap_err();
+    let SimError::Limit(l) = err else {
+        panic!("expected Limit, got {err}");
+    };
+    assert_eq!(l.kind, LimitKind::WallClock);
+    assert!(l.progress.ops > 0, "{:?}", l.progress);
 }
 
 #[test]

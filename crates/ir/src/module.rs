@@ -382,6 +382,13 @@ impl Module {
         self.values.len()
     }
 
+    /// Number of blocks ever created. Lets clients build dense side tables
+    /// indexed by [`BlockId::index`] — e.g. the simulation engine's fused
+    /// loop-trace table.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
     /// All live (non-erased) op ids, in arena order.
     pub fn live_ops(&self) -> impl Iterator<Item = OpId> + '_ {
         self.ops
