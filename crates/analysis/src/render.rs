@@ -1,0 +1,177 @@
+//! Deterministic text and JSON renderings of an [`AnalysisReport`].
+//!
+//! Both formats are stable across runs and thread counts (the analysis is
+//! a pure function of the module) and are what the golden-snapshot tests
+//! pin down. JSON is hand-rolled — the workspace carries no external
+//! dependencies — with keys in fixed order.
+
+use std::fmt::Write as _;
+
+use crate::{AnalysisReport, FuseStatus};
+
+/// Plain-text rendering (the `simcheck` default output).
+pub(crate) fn to_text(report: &AnalysisReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== conflict graph ==");
+    for (i, n) in report.conflict.nodes.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "node {i}: {}{}",
+            n.label,
+            if n.opaque { " (opaque)" } else { "" }
+        );
+    }
+    for &(a, b) in &report.conflict.edges {
+        let _ = writeln!(s, "edge: {a} -- {b}");
+    }
+    for (gi, g) in report.conflict.groups.iter().enumerate() {
+        let members: Vec<String> = g.iter().map(|m| m.to_string()).collect();
+        let _ = writeln!(s, "group {gi}: [{}]", members.join(", "));
+    }
+    let _ = writeln!(s, "== deadlock ==");
+    let _ = writeln!(s, "deadlock_free: {}", report.deadlock_free);
+    let _ = writeln!(s, "== fusibility ==");
+    for l in &report.fusibility.loops {
+        let status = match &l.status {
+            FuseStatus::Fuses { insts } => format!("fuses ({insts} insts)"),
+            FuseStatus::ZeroTrip => "zero-trip".to_string(),
+            FuseStatus::Declines { reason } => format!("declines: {reason}"),
+        };
+        let trip = l
+            .trip_count
+            .map_or("unknown".to_string(), |t| t.to_string());
+        let _ = writeln!(s, "{}: {status}, trip {trip}", l.location);
+    }
+    let _ = writeln!(
+        s,
+        "fusible: {} of {}",
+        report.fusibility.fusible_count(),
+        report.fusibility.loops.len()
+    );
+    let _ = writeln!(s, "== resources ==");
+    let fmt_bound = |b: Option<u64>| b.map_or("unknown".to_string(), |v| v.to_string());
+    let _ = writeln!(
+        s,
+        "live_tensor_bytes <= {}",
+        fmt_bound(report.resources.live_tensor_bytes_bound)
+    );
+    let _ = writeln!(s, "events <= {}", fmt_bound(report.resources.events_bound));
+    let _ = writeln!(s, "== diagnostics ==");
+    for d in &report.diagnostics {
+        let _ = writeln!(s, "{d}");
+    }
+    s
+}
+
+/// Minimal JSON string escaping.
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            let _ = write!(out, "{x}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+/// JSON rendering (the `simcheck --json` output).
+pub(crate) fn to_json(report: &AnalysisReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\"conflict\":{\"nodes\":[");
+    for (i, n) in report.conflict.nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"label\":");
+        esc(&mut s, &n.label);
+        let _ = write!(s, ",\"opaque\":{}}}", n.opaque);
+    }
+    s.push_str("],\"edges\":[");
+    for (i, &(a, b)) in report.conflict.edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{a},{b}]");
+    }
+    s.push_str("],\"groups\":[");
+    for (i, g) in report.conflict.groups.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        for (j, m) in g.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{m}");
+        }
+        s.push(']');
+    }
+    let _ = write!(s, "]}},\"deadlock_free\":{},", report.deadlock_free);
+    s.push_str("\"fusibility\":{\"loops\":[");
+    for (i, l) in report.fusibility.loops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"location\":");
+        esc(&mut s, &l.location);
+        s.push_str(",\"trip\":");
+        opt_u64(&mut s, l.trip_count);
+        s.push_str(",\"status\":");
+        match &l.status {
+            FuseStatus::Fuses { insts } => {
+                let _ = write!(s, "\"fuses\",\"insts\":{insts}");
+            }
+            FuseStatus::ZeroTrip => s.push_str("\"zero-trip\""),
+            FuseStatus::Declines { reason } => {
+                s.push_str("\"declines\",\"reason\":");
+                esc(&mut s, reason);
+            }
+        }
+        s.push('}');
+    }
+    let _ = write!(s, "],\"fusible\":{}}},", report.fusibility.fusible_count());
+    s.push_str("\"resources\":{\"live_tensor_bytes_bound\":");
+    opt_u64(&mut s, report.resources.live_tensor_bytes_bound);
+    s.push_str(",\"events_bound\":");
+    opt_u64(&mut s, report.resources.events_bound);
+    s.push_str("},\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"pass\":");
+        esc(&mut s, d.pass);
+        s.push_str(",\"severity\":");
+        esc(&mut s, d.severity.as_str());
+        s.push_str(",\"code\":");
+        esc(&mut s, d.code);
+        s.push_str(",\"message\":");
+        esc(&mut s, &d.message);
+        s.push_str(",\"location\":");
+        match &d.location {
+            Some(loc) => esc(&mut s, loc),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}

@@ -1,0 +1,256 @@
+//! Differential tests: every verdict the static analysis hands out is
+//! checked against what the simulation engine actually does.
+//!
+//! * **Deadlock**: `deadlock_free = true` is a guarantee — the runtime
+//!   must never return [`SimError::Deadlock`] for such a module. The
+//!   converse direction is exercised with two deliberately-broken
+//!   modules: a cross-frame queue-order inversion that deadlocks the
+//!   engine (and that the analysis refuses to certify), and a cyclic
+//!   dep graph the analysis pins as a hard `static-deadlock` error.
+//! * **Fusibility**: the per-loop fuse verdicts must agree with the fused
+//!   backend's `fused_trace_entries` counter — loops reported fusible
+//!   produce trace entries, scenarios with none (the fig12 convolutions)
+//!   produce exactly zero.
+//! * **Resources**: the static bounds are sound over-approximations of
+//!   the runtime `events_spawned` / `peak_live_tensor_bytes` counters.
+
+use equeue_analysis::{analyze_module, FuseStatus};
+use equeue_core::{Backend, CompiledModule, RunLimits, SimError, SimLibrary, SimOptions};
+use equeue_dialect::{kinds, EqueueBuilder};
+use equeue_gen::scenarios::{golden_scenarios, matmul_affine};
+use equeue_ir::{Module, OpBuilder};
+
+fn quiet_options() -> SimOptions {
+    SimOptions {
+        trace: false,
+        ..Default::default()
+    }
+}
+
+/// Statically proved deadlock-free ⇒ the engine never reports Deadlock.
+#[test]
+fn deadlock_free_scenarios_never_deadlock_at_runtime() {
+    let library = SimLibrary::standard();
+    let limits = RunLimits::default();
+    for scenario in golden_scenarios() {
+        let report = analyze_module(&scenario.module, &library, &limits);
+        assert!(
+            report.deadlock_free,
+            "{}: expected a deadlock-freedom proof, got:\n{}",
+            scenario.name,
+            report.to_text()
+        );
+        let compiled = CompiledModule::compile(scenario.module, SimLibrary::standard())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", scenario.name));
+        match compiled.simulate(&quiet_options()) {
+            Ok(_) => {}
+            Err(SimError::Deadlock(msg)) => panic!(
+                "{}: statically deadlock-free but the engine deadlocked: {msg}",
+                scenario.name
+            ),
+            // Any non-deadlock failure would contradict the gen-side
+            // golden_scenarios_simulate test; surface it loudly here too.
+            Err(e) => panic!("{}: simulation failed: {e}", scenario.name),
+        }
+    }
+}
+
+/// A cross-frame queue-order inversion: the host enqueues `x` on `p2`
+/// waiting on `a`, while `a`'s body later enqueues `c` on the same `p2`
+/// and awaits it. At runtime `x` arrives first, blocks the head of `p2`'s
+/// FIFO queue, and the machine wedges. Statically the two events sit in
+/// different frames on one processor with a completion dependency between
+/// them — exactly what the queue-order-hazard check refuses to certify.
+fn queue_inversion_module() -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let p1 = b.create_proc(kinds::ARM_R6);
+    let p2 = b.create_proc(kinds::ARM_R6);
+    let start = b.control_start();
+    let a = b.launch(start, p1, &[], vec![]);
+    let x = b.launch(a.done, p2, &[], vec![]);
+    let mut xb = OpBuilder::at_end(b.module_mut(), x.body);
+    xb.ret(vec![]);
+    let mut ab = OpBuilder::at_end(&mut m, a.body);
+    let inner_start = ab.control_start();
+    let c = ab.launch(inner_start, p2, &[], vec![]);
+    ab.await_all(vec![c.done]);
+    ab.ret(vec![]);
+    let mut cb = OpBuilder::at_end(&mut m, c.body);
+    cb.ret(vec![]);
+    let mut top = OpBuilder::at_end(&mut m, blk);
+    top.await_all(vec![x.done]);
+    m
+}
+
+#[test]
+fn queue_order_inversion_is_flagged_and_deadlocks() {
+    let library = SimLibrary::standard();
+    let module = queue_inversion_module();
+    let report = analyze_module(&module, &library, &RunLimits::default());
+    assert!(
+        !report.deadlock_free,
+        "analysis wrongly certified a module that deadlocks:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "queue-order-hazard"),
+        "expected a queue-order-hazard diagnostic:\n{}",
+        report.to_text()
+    );
+    let compiled = CompiledModule::compile(module, library)
+        .expect("the module is well-formed; it only wedges");
+    match compiled.simulate(&quiet_options()) {
+        Err(SimError::Deadlock(_)) => {}
+        Ok(_) => panic!("engine completed a run the analysis predicted would wedge"),
+        Err(e) => panic!("expected Deadlock, got: {e}"),
+    }
+}
+
+/// A direct wait cycle (two launches on one processor, each gated on the
+/// other's completion, spliced together after construction). The analysis
+/// must report a hard `static-deadlock` error; the runtime must reject or
+/// wedge — never complete.
+#[test]
+fn wait_cycle_is_a_static_deadlock_error() {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let p = b.create_proc(kinds::ARM_R6);
+    let start = b.control_start();
+    let a = b.launch(start, p, &[], vec![]);
+    let bb = b.launch(a.done, p, &[], vec![]);
+    let mut ab = OpBuilder::at_end(b.module_mut(), a.body);
+    ab.ret(vec![]);
+    let mut bbb = OpBuilder::at_end(&mut m, bb.body);
+    bbb.ret(vec![]);
+    let mut top = OpBuilder::at_end(&mut m, blk);
+    top.await_all(vec![bb.done]);
+    // Splice the cycle: a's dep (operand 0) becomes b's done signal.
+    m.set_operand(a.op, 0, bb.done);
+
+    let library = SimLibrary::standard();
+    let report = analyze_module(&m, &library, &RunLimits::default());
+    assert!(!report.deadlock_free);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "static-deadlock"),
+        "expected a static-deadlock error:\n{}",
+        report.to_text()
+    );
+    // The runtime must not silently complete this module: either the
+    // verifier rejects the use-before-def, or the engine wedges.
+    match CompiledModule::compile(m, library) {
+        Err(_) => {}
+        Ok(compiled) => match compiled.simulate(&quiet_options()) {
+            Err(_) => {}
+            Ok(_) => panic!("engine completed a module with a dependency cycle"),
+        },
+    }
+}
+
+/// The fusibility report agrees with the fused backend: trace entries
+/// appear exactly when the analysis says a loop fuses, and the entry
+/// count for the matmul microbenchmark matches the static trip structure.
+#[test]
+fn fusibility_report_matches_fused_backend() {
+    let library = SimLibrary::standard();
+    let limits = RunLimits::default();
+    let fused = SimOptions {
+        trace: false,
+        backend: Backend::Fused,
+        ..Default::default()
+    };
+
+    // matmul_affine(16): a 3-deep nest where only the innermost 1-D body
+    // fuses. The fused loop executes once per (i, j) iteration: 16 × 16
+    // trace entries.
+    let module = matmul_affine(16);
+    let report = analyze_module(&module, &library, &limits);
+    let fusible: Vec<_> = report
+        .fusibility
+        .loops
+        .iter()
+        .filter(|l| matches!(l.status, FuseStatus::Fuses { .. }))
+        .collect();
+    assert_eq!(fusible.len(), 1, "exactly the innermost loop fuses");
+    assert_eq!(fusible[0].trip_count, Some(16));
+    let compiled = CompiledModule::compile(module, SimLibrary::standard()).expect("compile");
+    let run = compiled.simulate(&fused).expect("simulate");
+    assert_eq!(
+        run.fused_trace_entries,
+        16 * 16,
+        "fused backend trace-entry count diverges from the static trip structure"
+    );
+
+    // Every golden scenario: entries appear iff something was fusible.
+    for scenario in golden_scenarios() {
+        let report = analyze_module(&scenario.module, &library, &limits);
+        let fusible = report.fusibility.fusible_count();
+        let compiled =
+            CompiledModule::compile(scenario.module, SimLibrary::standard()).expect("compile");
+        let run = compiled.simulate(&fused).expect("simulate");
+        if fusible == 0 {
+            assert_eq!(
+                run.fused_trace_entries, 0,
+                "{}: fused entries without a fusible loop",
+                scenario.name
+            );
+        } else {
+            assert!(
+                run.fused_trace_entries > 0,
+                "{}: analysis reports {fusible} fusible loops but the backend fused nothing",
+                scenario.name
+            );
+        }
+        if scenario.name.starts_with("fig12_") {
+            // The paper's conv pipelines lower through linalg without
+            // affine loops: nothing to fuse, and the backend must agree.
+            assert_eq!(fusible, 0, "{}: expected zero fusible loops", scenario.name);
+            assert_eq!(run.fused_trace_entries, 0, "{}", scenario.name);
+        }
+    }
+}
+
+/// Static resource bounds are sound: runtime counters never exceed them.
+#[test]
+fn resource_bounds_cover_runtime_counters() {
+    let library = SimLibrary::standard();
+    let limits = RunLimits::default();
+    for scenario in golden_scenarios() {
+        let report = analyze_module(&scenario.module, &library, &limits);
+        let est = report.resources;
+        let compiled =
+            CompiledModule::compile(scenario.module, SimLibrary::standard()).expect("compile");
+        let run = compiled.simulate(&quiet_options()).expect("simulate");
+        if let Some(bound) = est.events_bound {
+            assert!(
+                run.events_spawned <= bound,
+                "{}: events_spawned {} exceeds static bound {bound}",
+                scenario.name,
+                run.events_spawned
+            );
+        }
+        if let Some(bound) = est.live_tensor_bytes_bound {
+            assert!(
+                run.peak_live_tensor_bytes <= bound,
+                "{}: peak_live_tensor_bytes {} exceeds static bound {bound}",
+                scenario.name,
+                run.peak_live_tensor_bytes
+            );
+        }
+        // The bounds must also be *useful* on the golden set: every
+        // scenario here is fully static, so both bounds derive.
+        assert!(
+            est.events_bound.is_some() && est.live_tensor_bytes_bound.is_some(),
+            "{}: expected derivable bounds",
+            scenario.name
+        );
+    }
+}

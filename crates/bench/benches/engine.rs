@@ -4,6 +4,8 @@
 //! Self-timed (`equeue_bench::timing`) — see crates/bench/Cargo.toml for why
 //! these are not Criterion benches.
 
+#![forbid(unsafe_code)]
+
 use equeue_bench::timing::time;
 use equeue_core::{simulate, SignalTable};
 use equeue_dialect::{kinds, EqueueBuilder};

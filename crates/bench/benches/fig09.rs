@@ -2,6 +2,8 @@
 //! SCALE-Sim analytical baseline on the same workload. Self-timed — see
 //! crates/bench/Cargo.toml.
 
+#![forbid(unsafe_code)]
+
 use equeue_bench::timing::time;
 use equeue_bench::{run_quiet, to_conv_shape, to_scalesim};
 use equeue_dialect::ConvDims;

@@ -2,6 +2,8 @@
 //! paper's "execution time grows as models get more detailed"). Self-timed —
 //! see crates/bench/Cargo.toml.
 
+#![forbid(unsafe_code)]
+
 use equeue_bench::run_quiet;
 use equeue_bench::timing::time;
 use equeue_dialect::ConvDims;

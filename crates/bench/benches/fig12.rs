@@ -2,6 +2,8 @@
 //! configuration point, plus the wave-vs-per-element fidelity ablation.
 //! Self-timed — see crates/bench/Cargo.toml.
 
+#![forbid(unsafe_code)]
+
 use equeue_bench::timing::time;
 use equeue_bench::{fig12_point, run_quiet};
 use equeue_dialect::ConvDims;

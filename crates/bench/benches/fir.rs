@@ -3,6 +3,8 @@
 //! simulator; this tracks our end-to-end time per case. Self-timed — see
 //! crates/bench/Cargo.toml.
 
+#![forbid(unsafe_code)]
+
 use equeue_bench::run_quiet;
 use equeue_bench::timing::time;
 use equeue_gen::{generate_fir, FirCase, FirSpec};

@@ -2,7 +2,7 @@
 //! scenarios plus engine-focused microworkloads, and writes
 //! `BENCH_engine.json` so successive PRs have a perf trajectory.
 //!
-//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [--backend fused|interp] [--iters N] [--fault-matrix] [<output-path>]]`
+//! Usage: `cargo run --release --bin bench [-- [--jobs N] [--filter SUBSTR] [--backend fused|interp] [--iters N] [--fault-matrix] [--analyze] [<output-path>]]`
 //! (default output: `BENCH_engine.json` in the current directory).
 //!
 //! * `--jobs N` — worker threads for the sweep scenarios (`fig12_small_sweep`);
@@ -15,6 +15,12 @@
 //!   guard runs both and compares.
 //! * `--iters N` — override every scenario's timed iteration count
 //!   (quick smoke runs use `--iters 1`).
+//! * `--analyze` — instead of timing anything, run the `equeue-analysis`
+//!   static passes (conflict graph, deadlock proof, fusibility, dead
+//!   values, resource bounds) over every golden scenario and print each
+//!   summary. Combines with `--filter`; exits non-zero if any scenario
+//!   produces an Error-severity diagnostic. A pre-flight for sweeps: a
+//!   scenario that fails here will wedge or trip limits at runtime.
 //! * `--filter SUBSTR` — run only scenarios whose name contains `SUBSTR`
 //!   (perf-iteration mode). The emitted JSON then holds a *subset* of the
 //!   scenarios and must not be committed: the CI drift guard compares the
@@ -52,6 +58,9 @@
 //! on whatever machine ran the bench — compare relative trends, not
 //! absolute numbers, across machines.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue_bench::timing::{time, Sample};
 use equeue_bench::{fig12_sweep_jobs_backend, pool, run_quiet, scenarios};
 use equeue_core::{Backend, CompiledModule, SimLibrary, SimOptions, SimReport};
@@ -76,13 +85,19 @@ struct Row {
 /// prepass runs outside the timed region, so the row measures execution,
 /// not recompilation.
 fn sim_row(name: &str, iters: u32, module: Module, backend: Backend) -> Row {
-    let compiled = CompiledModule::compile(module, SimLibrary::standard()).expect("compile");
+    let compiled = match CompiledModule::compile(module, SimLibrary::standard()) {
+        Ok(c) => c,
+        Err(e) => panic!("compile failed: {e}"),
+    };
     let opts = SimOptions {
         trace: false,
         backend,
         ..Default::default()
     };
-    let run = || compiled.simulate(&opts).expect("simulation");
+    let run = || match compiled.simulate(&opts) {
+        Ok(r) => r,
+        Err(e) => panic!("simulation failed: {e}"),
+    };
     let report: SimReport = run();
     let sample = time(name, iters, || run().cycles);
     Row {
@@ -99,6 +114,7 @@ struct Args {
     filter: Option<String>,
     out_path: String,
     fault_matrix: bool,
+    analyze: bool,
     backend: Backend,
     /// Overrides every scenario's timed iteration count when set.
     iters: Option<u32>,
@@ -109,6 +125,7 @@ fn parse_args() -> Args {
     let mut filter = None;
     let mut out_path: Option<String> = None;
     let mut fault_matrix = false;
+    let mut analyze = false;
     let mut backend = Backend::default();
     let mut iters = None;
     let mut argv = std::env::args().skip(1);
@@ -122,6 +139,7 @@ fn parse_args() -> Args {
                 }));
             }
             "--fault-matrix" => fault_matrix = true,
+            "--analyze" => analyze = true,
             "--backend" => {
                 backend = match argv.next().as_deref() {
                     Some("fused") => Backend::Fused,
@@ -146,7 +164,7 @@ fn parse_args() -> Args {
             }
             flag if flag.starts_with('-') => {
                 eprintln!(
-                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / --backend fused|interp / --iters N / --fault-matrix / <output-path>)"
+                    "bench: unknown flag '{flag}' (expected --jobs N / --filter SUBSTR / --backend fused|interp / --iters N / --fault-matrix / --analyze / <output-path>)"
                 );
                 std::process::exit(2);
             }
@@ -174,9 +192,66 @@ fn parse_args() -> Args {
         filter,
         out_path,
         fault_matrix,
+        analyze,
         backend,
         iters,
     }
+}
+
+/// The `--analyze` mode: run the static-analysis pipeline over the golden
+/// scenario set and print per-scenario summaries. Exits non-zero when any
+/// scenario carries an Error-severity diagnostic.
+fn run_analyze(filter: Option<&str>) -> ! {
+    use equeue_analysis::{analyze_module, Severity};
+    use equeue_core::RunLimits;
+
+    let library = equeue_bench::standard_library();
+    let limits = RunLimits::default();
+    let mut errors = 0usize;
+    let mut ran = 0usize;
+    for scenario in scenarios::golden_scenarios() {
+        if let Some(f) = filter {
+            if !scenario.name.contains(f) {
+                continue;
+            }
+        }
+        ran += 1;
+        let report = analyze_module(&scenario.module, library, &limits);
+        for d in report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity > Severity::Info)
+        {
+            println!("analyze: {}: {d}", scenario.name);
+        }
+        println!(
+            "analyze: {}: {} errors, {} warnings, deadlock_free={}, fusible {}/{}, events <= {}",
+            scenario.name,
+            report.error_count(),
+            report.warning_count(),
+            report.deadlock_free,
+            report.fusibility.fusible_count(),
+            report.fusibility.loops.len(),
+            report
+                .resources
+                .events_bound
+                .map_or("unknown".to_string(), |b| b.to_string()),
+        );
+        errors += report.error_count();
+    }
+    if ran == 0 {
+        eprintln!(
+            "analyze: filter '{}' matched no scenario",
+            filter.unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+    if errors > 0 {
+        eprintln!("analyze: {errors} error diagnostic(s) across {ran} scenario(s)");
+        std::process::exit(1);
+    }
+    println!("analyze: {ran} scenario(s) clean");
+    std::process::exit(0);
 }
 
 /// The fault-injection harness (`--fault-matrix`): perturbs a scenario
@@ -328,6 +403,9 @@ fn main() {
     let args = parse_args();
     if args.fault_matrix {
         run_fault_matrix();
+    }
+    if args.analyze {
+        run_analyze(args.filter.as_deref());
     }
     let enabled = |name: &str| -> bool { args.filter.as_deref().is_none_or(|f| name.contains(f)) };
     println!(

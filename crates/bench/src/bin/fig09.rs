@@ -2,6 +2,9 @@
 //! cycles and average SRAM ofmap write bandwidth, for an ifmap sweep
 //! (fixed 2×2×3 weights) and a filter sweep (fixed 32×32 ifmap).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue_bench::{fig09_ifmap_sweep, fig09_weight_sweep, Fig09Row};
 
 fn print_table(title: &str, rows: &[Fig09Row]) {

@@ -2,6 +2,9 @@
 //! bandwidth along the four lowering stages (Linalg, Affine, Reassign,
 //! Systolic) for H=W ∈ {4, 8, 16, 32}, Fh=Fw=3, C=3, N=4 on a 4×4 array.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue_bench::fig11_rows;
 
 fn main() {
@@ -32,9 +35,13 @@ fn main() {
     println!("\nshape checks (paper §VI-D):");
     for &hw in &sizes {
         let of = |stage| {
-            rows.iter()
-                .find(|r| r.hw == hw && r.stage.as_str() == stage && r.dataflow.as_str() == "WS")
-                .unwrap()
+            let found = rows
+                .iter()
+                .find(|r| r.hw == hw && r.stage.as_str() == stage && r.dataflow.as_str() == "WS");
+            match found {
+                Some(r) => r,
+                None => unreachable!("the sweep above produced every (size, stage) row"),
+            }
         };
         let (l, a, re, s) = (of("Linalg"), of("Affine"), of("Reassign"), of("Systolic"));
         println!(

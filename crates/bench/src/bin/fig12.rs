@@ -10,6 +10,9 @@
 //! simulations across N worker threads (default: all cores; results and
 //! row order are bit-identical at any width).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue_bench::{fig12_configs, fig12_sweep_jobs, pool, Fig12Row};
 use equeue_passes::Dataflow;
 

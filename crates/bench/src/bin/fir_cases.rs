@@ -3,6 +3,9 @@
 //! results and the published Xilinx AIE simulator numbers, plus the Chrome
 //! trace JSON files behind Figs. 13 and 14.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue_bench::fir_rows;
 use std::fs;
 
@@ -29,10 +32,14 @@ fn main() {
 
     // Emit the visualisable traces (open in chrome://tracing or Perfetto).
     let out_dir = std::path::Path::new("target/traces");
-    fs::create_dir_all(out_dir).expect("create target/traces");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        panic!("create target/traces: {e}");
+    }
     for r in &rows {
         let path = out_dir.join(format!("fir_{}.json", r.case.as_str()));
-        fs::write(&path, &r.trace_json).expect("write trace");
+        if let Err(e) = fs::write(&path, &r.trace_json) {
+            panic!("write {}: {e}", path.display());
+        }
         println!("trace written: {}", path.display());
     }
     println!(

@@ -4,6 +4,9 @@
 //! (paper: 281 LOC, 11 changed) — here measured on this repository's own
 //! sources — plus simulation wall-clock on the Fig. 9 workloads.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue_bench::{fig09_ifmap_sweep, fig09_weight_sweep, to_conv_shape, to_scalesim};
 use equeue_dialect::ConvDims;
 use equeue_passes::Dataflow;
@@ -32,10 +35,12 @@ fn dataflow_specific_loc(source: &str) -> usize {
 
 fn main() {
     let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let systolic_src =
-        fs::read_to_string(manifest.join("../gen/src/systolic.rs")).expect("read generator source");
-    let scalesim_src =
-        fs::read_to_string(manifest.join("../scalesim/src/lib.rs")).expect("read baseline source");
+    let read = |rel: &str| match fs::read_to_string(manifest.join(rel)) {
+        Ok(src) => src,
+        Err(e) => panic!("reading {rel}: {e}"),
+    };
+    let systolic_src = read("../gen/src/systolic.rs");
+    let scalesim_src = read("../scalesim/src/lib.rs");
 
     println!("§VI-C — iteration cost: code size and simulation speed\n");
     println!("code size (this repository, non-blank non-comment lines):");

@@ -12,6 +12,8 @@
 //! produce bit-identical rows at any job count.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod pool;
 
@@ -69,7 +71,7 @@ pub fn run_quiet(module: &equeue_ir::Module) -> SimReport {
 ///
 /// Panics if the simulation fails (benchmark scenarios are known-good).
 pub fn run_quiet_backend(module: &equeue_ir::Module, backend: Backend) -> SimReport {
-    simulate_with(
+    match simulate_with(
         module,
         standard_library(),
         &SimOptions {
@@ -77,8 +79,10 @@ pub fn run_quiet_backend(module: &equeue_ir::Module, backend: Backend) -> SimRep
             backend,
             ..Default::default()
         },
-    )
-    .expect("simulation")
+    ) {
+        Ok(report) => report,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +310,10 @@ pub fn fig12_point(ah: usize, hw: usize, f: usize, c: usize, n: usize, df: Dataf
         trace: false,
         ..Default::default()
     };
-    try_fig12_point(ah, hw, f, c, n, df, &opts).expect("simulation")
+    match try_fig12_point(ah, hw, f, c, n, df, &opts) {
+        Ok(row) => row,
+        Err(e) => panic!("simulation failed: {e}"),
+    }
 }
 
 /// Runs one sweep point under explicit [`SimOptions`] (limits, cancel
@@ -393,7 +400,10 @@ pub fn fig12_sweep_jobs_backend(full: bool, jobs: usize, backend: Backend) -> Ve
             backend,
             ..Default::default()
         };
-        try_fig12_point(ah, hw, f, c, n, df, &opts).expect("simulation")
+        match try_fig12_point(ah, hw, f, c, n, df, &opts) {
+            Ok(row) => row,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
     })
 }
 
@@ -462,7 +472,10 @@ pub fn fir_rows_jobs(jobs: usize) -> Vec<FirRow> {
     use equeue_gen::fir_reference as r;
     pool::run_batch(jobs, &FirCase::all(), |&case| {
         let prog = generate_fir(FirSpec::default(), case);
-        let report = equeue_core::simulate(&prog.module).expect("simulation");
+        let report = match equeue_core::simulate(&prog.module) {
+            Ok(r) => r,
+            Err(e) => panic!("simulation failed: {e}"),
+        };
         let (paper, xilinx) = match case {
             FirCase::SingleCore => (r::PAPER_CASE1, Some(r::XILINX_CASE1)),
             FirCase::Pipelined16 => (r::PAPER_CASE2, None),
@@ -486,110 +499,10 @@ pub fn fir_rows_jobs(jobs: usize) -> Vec<FirRow> {
 
 /// Module builders for the engine benchmark binary.
 ///
-/// These exercise the engine's hot paths directly, independent of the
-/// figure-reproduction drivers: a matmul at the Linalg level (analytic), the
-/// same matmul fully lowered to affine loops (interpreter-bound — one
-/// `affine.load`/`arith` op per scalar operation), and a tensor-streaming
-/// pipeline (launch-capture and whole-tensor read/write bound).
-pub mod scenarios {
-    use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, EqueueBuilder, LinalgBuilder};
-    use equeue_ir::{Module, OpBuilder, Type};
-
-    /// An `n×n` integer matmul at the Linalg level: one analytic
-    /// `linalg.matmul` op inside a launch.
-    pub fn matmul_linalg(n: usize) -> Module {
-        let mut m = Module::new();
-        let blk = m.top_block();
-        let mut b = OpBuilder::at_end(&mut m, blk);
-        let pe = b.create_proc(kinds::ARM_R5);
-        let mem = b.create_mem(kinds::SRAM, &[3 * n * n], 32, n as u32);
-        let a = b.alloc(mem, &[n, n], Type::I32);
-        let bb = b.alloc(mem, &[n, n], Type::I32);
-        let c = b.alloc(mem, &[n, n], Type::I32);
-        let start = b.control_start();
-        let l = b.launch(start, pe, &[a, bb, c], vec![]);
-        {
-            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
-            ib.linalg_matmul(l.body_args[0], l.body_args[1], l.body_args[2]);
-            ib.ret(vec![]);
-        }
-        let done = l.done;
-        let mut b = OpBuilder::at_end(&mut m, blk);
-        b.await_all(vec![done]);
-        m
-    }
-
-    /// The same `n×n` matmul lowered to affine loops: `n³` iterations of
-    /// load/load/load/mul/add/store. Interpreter-bound — this is the
-    /// "64×64 matmul lowering" scenario of the perf trajectory.
-    pub fn matmul_affine(n: usize) -> Module {
-        let mut m = Module::new();
-        let blk = m.top_block();
-        let mut b = OpBuilder::at_end(&mut m, blk);
-        let pe = b.create_proc(kinds::ARM_R5);
-        let mem = b.create_mem(kinds::REGISTER, &[3 * n * n], 32, n as u32);
-        let a = b.alloc(mem, &[n, n], Type::I32);
-        let bb = b.alloc(mem, &[n, n], Type::I32);
-        let c = b.alloc(mem, &[n, n], Type::I32);
-        let start = b.control_start();
-        let l = b.launch(start, pe, &[a, bb, c], vec![]);
-        {
-            let (va, vb, vc) = (l.body_args[0], l.body_args[1], l.body_args[2]);
-            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
-            let (_, bi, i) = ib.affine_for(0, n as i64, 1);
-            let mut ib = OpBuilder::at_end(ib.module_mut(), bi);
-            let (_, bj, j) = ib.affine_for(0, n as i64, 1);
-            let mut ib = OpBuilder::at_end(ib.module_mut(), bj);
-            let (_, bk, k) = ib.affine_for(0, n as i64, 1);
-            {
-                let mut kb = OpBuilder::at_end(ib.module_mut(), bk);
-                let aik = kb.affine_load(va, vec![i, k]);
-                let bkj = kb.affine_load(vb, vec![k, j]);
-                let cij = kb.affine_load(vc, vec![i, j]);
-                let prod = kb.muli(aik, bkj);
-                let sum = kb.addi(cij, prod);
-                kb.affine_store(sum, vc, vec![i, j]);
-                kb.affine_yield();
-            }
-            let mut ib = OpBuilder::at_end(&mut m, bj);
-            ib.affine_yield();
-            let mut ib = OpBuilder::at_end(&mut m, bi);
-            ib.affine_yield();
-            let mut ib = OpBuilder::at_end(&mut m, l.body);
-            ib.ret(vec![]);
-        }
-        let done = l.done;
-        let mut b = OpBuilder::at_end(&mut m, blk);
-        b.await_all(vec![done]);
-        m
-    }
-
-    /// A chain of `k` launches, each reading an entire `n×n` tensor out of
-    /// SRAM and writing it back. Stresses launch-env capture and
-    /// whole-tensor value movement — the copy-on-write hot path.
-    pub fn tensor_stream(n: usize, k: usize) -> Module {
-        let mut m = Module::new();
-        let blk = m.top_block();
-        let mut b = OpBuilder::at_end(&mut m, blk);
-        let pe = b.create_proc(kinds::MAC);
-        let mem = b.create_mem(kinds::SRAM, &[n * n], 32, n as u32);
-        let buf = b.alloc(mem, &[n, n], Type::I32);
-        let mut dep = b.control_start();
-        for _ in 0..k {
-            let l = b.launch(dep, pe, &[buf], vec![]);
-            {
-                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
-                let t = ib.read(l.body_args[0], None);
-                ib.write_indexed(t, l.body_args[0], vec![], None);
-                ib.ret(vec![]);
-            }
-            dep = l.done;
-            b = OpBuilder::at_end(&mut m, blk);
-        }
-        b.await_all(vec![dep]);
-        m
-    }
-}
+/// Moved to `equeue_gen::scenarios` so the static-analysis crate can reach
+/// them without depending on the bench harness; re-exported here to keep
+/// `equeue_bench::scenarios::` paths working.
+pub use equeue_gen::scenarios;
 
 // ---------------------------------------------------------------------------
 // Self-contained timing harness

@@ -181,6 +181,9 @@ pub(crate) fn run_with_plan(
         cycles: engine.horizon,
         execution_time: start.elapsed(),
         events_processed: engine.wakes,
+        events_spawned: engine.events_spawned,
+        peak_live_tensor_bytes: engine.peak_live_tensor_bytes,
+        fused_trace_entries: engine.fused_trace_entries,
         ops_interpreted: engine.ops_interpreted,
         trace: std::mem::take(&mut engine.trace),
         ..Default::default()
@@ -408,13 +411,17 @@ struct ScopeLayout {
 #[derive(Debug)]
 pub(crate) struct Plan {
     scopes: Vec<ScopeLayout>,
-    /// Indexed by `OpId::index()`.
-    ops: Vec<OpInfo>,
+    /// Indexed by `OpId::index()`. Readable crate-wide so the prepass-facts
+    /// view ([`crate::PrepassFacts`]) can walk the decoded ops.
+    pub(crate) ops: Vec<OpInfo>,
     /// Fused loop traces, indexed by the loop *body*'s `BlockId::index()`;
     /// `None` for blocks that are not a fusible `affine.for` body. Built
     /// unconditionally (it is cheap and pure); whether a run consults it is
     /// decided per run by [`SimOptions::backend`].
     pub(crate) fused: Vec<Option<Box<crate::fused::FusedLoop>>>,
+    /// Why each non-fused `affine.for` body declined trace formation, same
+    /// indexing as `fused`. Diagnostics only — execution never reads it.
+    pub(crate) fuse_declines: Vec<Option<crate::fused::FuseDecline>>,
 }
 
 /// Scope discovery scratch state.
@@ -557,8 +564,13 @@ impl Plan {
         // dispatch-free instruction tables (see `crate::fused`). Purely
         // derived from the decoded ops; loops the builder declines simply
         // have no table entry and run on the interpreter.
-        let fused = crate::fused::build_fused(module, &ops);
-        Plan { scopes, ops, fused }
+        let (fused, fuse_declines) = crate::fused::build_fused(module, &ops);
+        Plan {
+            scopes,
+            ops,
+            fused,
+            fuse_declines,
+        }
     }
 }
 
@@ -1134,9 +1146,19 @@ pub(crate) struct Engine<'m> {
     pub(crate) horizon: u64,
     pub(crate) wakes: u64,
     pub(crate) ops_interpreted: u64,
+    /// Events pushed onto processor queues (launches + memcpys issued).
+    /// Reported so static spawn-count estimates can be validated against
+    /// actual runs; never consulted by limits or scheduling.
+    events_spawned: u64,
     /// Bytes of simultaneously-live tensor storage (for
     /// `max_live_tensor_bytes`).
     live_tensor_bytes: u64,
+    /// High-water mark of `live_tensor_bytes` over the run (reported; the
+    /// static resource-estimation pass upper-bounds it).
+    peak_live_tensor_bytes: u64,
+    /// Successful fused-trace entries (the fusibility report's runtime
+    /// ground truth; `0` under `Backend::Interp`).
+    fused_trace_entries: u64,
     /// Loop-bookkeeping iterations that executed no op (empty bodies);
     /// bounded alongside `max_events` so degenerate loops cannot spin the
     /// interpreter forever. Not reported — purely a safety counter.
@@ -1176,7 +1198,10 @@ impl<'m> Engine<'m> {
             horizon: 0,
             wakes: 0,
             ops_interpreted: 0,
+            events_spawned: 0,
             live_tensor_bytes: 0,
+            peak_live_tensor_bytes: 0,
+            fused_trace_entries: 0,
             idle_steps: 0,
             deadline,
             trace: if options.trace {
@@ -1734,6 +1759,7 @@ impl<'m> Engine<'m> {
                     if let Some(f) = plan.fused.get(bi).and_then(|o| o.as_deref()) {
                         if !self.fused.skip[bi] {
                             if let Some(step) = self.run_fused(p, frame, f, bi)? {
+                                self.fused_trace_entries += 1;
                                 return Ok(step);
                             }
                         }
@@ -2035,6 +2061,7 @@ impl<'m> Engine<'m> {
                         self.machine.name(dma)
                     ))
                 })?;
+                self.events_spawned += 1;
                 self.procs[target].queue.push_back(PendingEvent {
                     kind: EventKind::Memcpy { src, dst, conn },
                     dep,
@@ -2081,6 +2108,7 @@ impl<'m> Engine<'m> {
                         self.machine.name(proc_comp)
                     ))
                 })?;
+                self.events_spawned += 1;
                 self.procs[target].queue.push_back(PendingEvent {
                     kind: EventKind::Launch { op, env },
                     dep,
@@ -2596,6 +2624,7 @@ impl<'m> Engine<'m> {
             .ok_or_else(|| SimError::Port(format!("allocation of shape {shape:?} overflows")))?
             as u64;
         self.live_tensor_bytes = self.live_tensor_bytes.saturating_add(bytes);
+        self.peak_live_tensor_bytes = self.peak_live_tensor_bytes.max(self.live_tensor_bytes);
         let lim = self.options.limits.max_live_tensor_bytes;
         if self.live_tensor_bytes > lim {
             return Err(self.limit_err(LimitKind::LiveTensorBytes, lim, t));

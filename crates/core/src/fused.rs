@@ -58,6 +58,54 @@ use crate::value::{BufId, CompId, SimValue, TensorData};
 // Trace representation
 // ---------------------------------------------------------------------------
 
+/// Why trace formation declined to fuse an `affine.for` body.
+///
+/// Produced by the compile-time half of the fused backend (the layout
+/// prepass) and surfaced through [`crate::PrepassFacts`] so static analysis
+/// — and the phase-2 fusion worklist — can see *why* a loop still pays
+/// interpreter dispatch. Runtime-only declines (cache-backed memories,
+/// non-integer tensors, contended entry) are not represented here: they
+/// depend on live machine state and are reported separately by the
+/// analyzer's fusibility pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FuseDecline {
+    /// The body contains a nested `affine.for`/`affine.parallel`: only
+    /// innermost 1-D bodies fuse today (the phase-2 worklist).
+    MultiLevelNest,
+    /// A value is used before its in-body definition — cross-iteration
+    /// value flow the straight-line trace cannot model.
+    CrossIterationFlow,
+    /// The body contains an op the trace compiler does not model
+    /// (launches, tensor ops, float constants, unknown predicates, …).
+    UnsupportedOp(String),
+    /// The body has no instructions; the interpreter's idle-step
+    /// accounting is the reference semantics for degenerate loops.
+    EmptyBody,
+    /// The body is structurally malformed (result-arity mismatches,
+    /// inconsistent buffer ranks, out-of-range op ids); execution will
+    /// surface the precise typed error.
+    Malformed,
+}
+
+impl std::fmt::Display for FuseDecline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FuseDecline::MultiLevelNest => {
+                write!(f, "multi-level nest: only innermost 1-D bodies fuse")
+            }
+            FuseDecline::CrossIterationFlow => {
+                write!(f, "cross-iteration value flow (use before in-body def)")
+            }
+            FuseDecline::UnsupportedOp(name) => {
+                write!(f, "unsupported op in body: {name}")
+            }
+            FuseDecline::EmptyBody => write!(f, "empty body"),
+            FuseDecline::Malformed => write!(f, "structurally malformed body"),
+        }
+    }
+}
+
 /// One pre-compiled instruction of a fused loop body. Operands are virtual
 /// registers (indices into the trace runner's `i64` bank); `op_pos` is the
 /// instruction's op index within the source block, kept so a mid-trace
@@ -158,6 +206,13 @@ pub(crate) struct FusedLoop {
     buffers: Vec<(Slot, u32)>,
 }
 
+impl FusedLoop {
+    /// Number of trace instructions (for [`crate::PrepassFacts`]).
+    pub(crate) fn inst_count(&self) -> usize {
+        self.insts.len()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Trace formation (Plan::build step 6)
 // ---------------------------------------------------------------------------
@@ -206,34 +261,42 @@ impl RegAlloc<'_> {
 }
 
 /// Interns a buffer operand, keyed by frame slot. Rejects body-defined
-/// buffers and rank-inconsistent subscript lists (the runtime preflight
-/// then checks the single recorded rank against the live tensor).
+/// buffers (cross-iteration flow) and rank-inconsistent subscript lists
+/// (the runtime preflight then checks the single recorded rank against the
+/// live tensor).
 fn buffer_index(
     buffers: &mut Vec<(Slot, u32)>,
     def_slots: &[Slot],
     slot: Slot,
     rank: u32,
-) -> Option<u32> {
+) -> Result<u32, FuseDecline> {
     if def_slots.contains(&slot) {
-        return None;
+        return Err(FuseDecline::CrossIterationFlow);
     }
     if let Some(i) = buffers.iter().position(|&(s, _)| s == slot) {
         if buffers[i].1 != rank {
-            return None;
+            return Err(FuseDecline::Malformed);
         }
-        return Some(i as u32);
+        return Ok(i as u32);
     }
     buffers.push((slot, rank));
-    Some((buffers.len() - 1) as u32)
+    Ok((buffers.len() - 1) as u32)
 }
 
 /// Walks every decoded op and compiles each fusible `affine.for` body into
-/// a [`FusedLoop`], returning a table indexed by the body block's
+/// a [`FusedLoop`], returning a trace table and a decline table, both
+/// indexed by the body block's
 /// [`BlockId::index`](equeue_ir::BlockId::index). Pure and cheap (linear in
 /// the module); runs unconditionally in `Plan::build` so a single compiled
-/// module can serve both backends.
-pub(crate) fn build_fused(module: &Module, ops: &[OpInfo]) -> Vec<Option<Box<FusedLoop>>> {
+/// module can serve both backends. Blocks that are not an `affine.for` body
+/// (or whose loop never enters) are `None` in both tables.
+#[allow(clippy::type_complexity)]
+pub(crate) fn build_fused(
+    module: &Module,
+    ops: &[OpInfo],
+) -> (Vec<Option<Box<FusedLoop>>>, Vec<Option<FuseDecline>>) {
     let mut fused: Vec<Option<Box<FusedLoop>>> = (0..module.num_blocks()).map(|_| None).collect();
+    let mut declines: Vec<Option<FuseDecline>> = (0..module.num_blocks()).map(|_| None).collect();
     for info in ops {
         if let OpCode::For {
             lower,
@@ -246,18 +309,21 @@ pub(crate) fn build_fused(module: &Module, ops: &[OpInfo]) -> Vec<Option<Box<Fus
             if lower < upper {
                 let bi = body.index();
                 if let Some(entry) = fused.get_mut(bi) {
-                    if entry.is_none() {
-                        *entry = try_build(module, ops, *body, *iv, *step, *upper).map(Box::new);
+                    if entry.is_none() && declines[bi].is_none() {
+                        match try_build(module, ops, *body, *iv, *step, *upper) {
+                            Ok(f) => *entry = Some(Box::new(f)),
+                            Err(why) => declines[bi] = Some(why),
+                        }
                     }
                 }
             }
         }
     }
-    fused
+    (fused, declines)
 }
 
-/// Attempts to compile one loop body; `None` means "leave it to the
-/// interpreter".
+/// Attempts to compile one loop body; `Err` carries the precise decline
+/// reason ("leave it to the interpreter, because …").
 fn try_build(
     module: &Module,
     ops: &[OpInfo],
@@ -265,21 +331,25 @@ fn try_build(
     iv: Slot,
     step: i64,
     upper: i64,
-) -> Option<FusedLoop> {
+) -> Result<FusedLoop, FuseDecline> {
     let block = module.block(body);
+    // Shorthands: operand resolution failures are cross-iteration flow;
+    // structural surprises (arity, missing op records) are malformed.
+    let flow = || FuseDecline::CrossIterationFlow;
+    let bad = || FuseDecline::Malformed;
 
     // Pass 1: collect every slot the body defines, so operand resolution
     // can tell loop-invariant inputs from in-body defs.
     let mut def_slots: Vec<Slot> = Vec::new();
     for &op in &block.ops {
-        let info = ops.get(op.index())?;
+        let info = ops.get(op.index()).ok_or_else(bad)?;
         if matches!(info.code, OpCode::Erased) {
             continue;
         }
         def_slots.extend(&info.results);
     }
     if def_slots.contains(&iv) {
-        return None;
+        return Err(flow());
     }
 
     // Pass 2: decode each op into a trace instruction.
@@ -294,20 +364,20 @@ fn try_build(
     let mut buffers: Vec<(Slot, u32)> = Vec::new();
     let mut insts: Vec<FusedInst> = Vec::new();
     for (pos, &op) in block.ops.iter().enumerate() {
-        let info = ops.get(op.index())?;
+        let info = ops.get(op.index()).ok_or_else(bad)?;
         let op_pos = pos as u32;
         match &info.code {
             OpCode::Erased => continue,
             OpCode::AffineLoad { buffer, indices } => {
                 if info.results.len() != 1 {
-                    return None;
+                    return Err(bad());
                 }
                 let buf = buffer_index(&mut buffers, &def_slots, *buffer, indices.len() as u32)?;
                 let idx: Option<Box<[u32]>> = indices.iter().map(|&s| regs.operand(s)).collect();
                 let dst = regs.define(info.results[0]);
                 insts.push(FusedInst::Load {
                     buf,
-                    indices: idx?,
+                    indices: idx.ok_or_else(flow)?,
                     dst,
                     op_pos,
                 });
@@ -318,14 +388,14 @@ fn try_build(
                 indices,
             } => {
                 if !info.results.is_empty() {
-                    return None;
+                    return Err(bad());
                 }
-                let src = regs.operand(*value)?;
+                let src = regs.operand(*value).ok_or_else(flow)?;
                 let buf = buffer_index(&mut buffers, &def_slots, *buffer, indices.len() as u32)?;
                 let idx: Option<Box<[u32]>> = indices.iter().map(|&s| regs.operand(s)).collect();
                 insts.push(FusedInst::Store {
                     buf,
-                    indices: idx?,
+                    indices: idx.ok_or_else(flow)?,
                     src,
                     op_pos,
                 });
@@ -338,10 +408,10 @@ fn try_build(
                 ..
             } => {
                 if info.results.len() != 1 {
-                    return None;
+                    return Err(bad());
                 }
-                let lhs = regs.operand(*lhs)?;
-                let rhs = regs.operand(*rhs)?;
+                let lhs = regs.operand(*lhs).ok_or_else(flow)?;
+                let rhs = regs.operand(*rhs).ok_or_else(flow)?;
                 let dst = regs.define(info.results[0]);
                 insts.push(FusedInst::Bin {
                     op: *op,
@@ -354,11 +424,12 @@ fn try_build(
             }
             OpCode::Cmpi { pred, lhs, rhs } => {
                 if info.results.len() != 1 {
-                    return None;
+                    return Err(bad());
                 }
-                let pred = CmpPred::from_name(pred)?;
-                let lhs = regs.operand(*lhs)?;
-                let rhs = regs.operand(*rhs)?;
+                let pred = CmpPred::from_name(pred)
+                    .ok_or_else(|| FuseDecline::UnsupportedOp(format!("arith.cmpi {pred}")))?;
+                let lhs = regs.operand(*lhs).ok_or_else(flow)?;
+                let rhs = regs.operand(*rhs).ok_or_else(flow)?;
                 let dst = regs.define(info.results[0]);
                 insts.push(FusedInst::Cmp {
                     pred,
@@ -374,11 +445,11 @@ fn try_build(
                 on_false,
             } => {
                 if info.results.len() != 1 {
-                    return None;
+                    return Err(bad());
                 }
-                let cond = regs.operand(*cond)?;
-                let on_true = regs.operand(*on_true)?;
-                let on_false = regs.operand(*on_false)?;
+                let cond = regs.operand(*cond).ok_or_else(flow)?;
+                let on_true = regs.operand(*on_true).ok_or_else(flow)?;
+                let on_false = regs.operand(*on_false).ok_or_else(flow)?;
                 let dst = regs.define(info.results[0]);
                 insts.push(FusedInst::Sel {
                     cond,
@@ -390,7 +461,7 @@ fn try_build(
             }
             OpCode::Constant(SimValue::Int(v)) => {
                 if info.results.len() != 1 {
-                    return None;
+                    return Err(bad());
                 }
                 let dst = regs.define(info.results[0]);
                 insts.push(FusedInst::Const {
@@ -401,17 +472,20 @@ fn try_build(
             }
             OpCode::Yield => {
                 if !info.results.is_empty() {
-                    return None;
+                    return Err(bad());
                 }
                 insts.push(FusedInst::Nop { op_pos });
             }
-            _ => return None,
+            OpCode::For { .. } | OpCode::Parallel { .. } => {
+                return Err(FuseDecline::MultiLevelNest)
+            }
+            _ => return Err(FuseDecline::UnsupportedOp(module.op(op).name.clone())),
         }
     }
     if insts.is_empty() {
-        return None;
+        return Err(FuseDecline::EmptyBody);
     }
-    Some(FusedLoop {
+    Ok(FusedLoop {
         insts,
         n_regs: regs.n,
         iv_reg: 0,

@@ -86,6 +86,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 // Robustness gate: the library half of the crate must never panic on
 // adversarial input, so `unwrap`/`expect` are denied outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -93,6 +94,7 @@
 mod compiled;
 mod engine;
 mod error;
+mod facts;
 pub mod fault;
 mod fused;
 mod interp;
@@ -106,6 +108,11 @@ mod value;
 pub use compiled::CompiledModule;
 pub use engine::{simulate, simulate_with, Backend, SimOptions};
 pub use error::{CancelToken, LimitExceeded, LimitKind, Progress, RunLimits, SimError};
+pub use facts::{
+    analyze_facts, ConnFact, ExtOpFact, FuseVerdict, InvalidOpFact, LoopFact, MemFact,
+    PrepassFacts, ProcFact, UnsupportedOpFact,
+};
+pub use fused::FuseDecline;
 pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
 pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};
 pub use machine::{

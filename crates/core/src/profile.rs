@@ -66,8 +66,20 @@ pub struct SimReport {
     pub execution_time: Duration,
     /// Number of engine events processed (scheduler wakes).
     pub events_processed: u64,
+    /// Number of events spawned onto processor queues (launches and
+    /// memcpys issued). Deterministic and backend-independent; the static
+    /// resource-estimation pass upper-bounds it.
+    pub events_spawned: u64,
     /// Number of operations interpreted.
     pub ops_interpreted: u64,
+    /// High-water mark of simultaneously-live tensor storage, bytes.
+    /// Backend-independent; the static resource-estimation pass
+    /// upper-bounds it.
+    pub peak_live_tensor_bytes: u64,
+    /// Successful fused-trace entries. `0` under [`crate::Backend::Interp`]
+    /// (and whenever every loop declines); the runtime ground truth for the
+    /// analyzer's fusibility report.
+    pub fused_trace_entries: u64,
     /// Per-connection bandwidth summaries.
     pub connections: Vec<ConnReport>,
     /// Per-memory traffic summaries.

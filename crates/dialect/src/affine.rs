@@ -107,12 +107,10 @@ impl AffineBuilder for OpBuilder<'_> {
     }
 
     fn affine_load(&mut self, memref: ValueId, indices: Vec<ValueId>) -> ValueId {
-        let elem = self
-            .module()
-            .value_type(memref)
-            .elem()
-            .expect("affine.load needs a shaped operand")
-            .clone();
+        let elem = match self.module().value_type(memref).elem() {
+            Some(e) => e.clone(),
+            None => panic!("affine.load needs a shaped operand"),
+        };
         self.op("affine.load")
             .operand(memref)
             .operands(indices)
@@ -215,7 +213,11 @@ pub fn verify_load(m: &Module, op: OpId) -> Result<(), String> {
             return Err("affine.load subscripts must be index-typed".into());
         }
     }
-    if data.results.len() != 1 || !m.value_type(data.results[0]).matches(mt.elem().unwrap()) {
+    if data.results.len() != 1
+        || !mt
+            .elem()
+            .is_some_and(|e| m.value_type(data.results[0]).matches(e))
+    {
         return Err("affine.load result must match the element type".into());
     }
     Ok(())
@@ -239,7 +241,10 @@ pub fn verify_store(m: &Module, op: OpId) -> Result<(), String> {
             shape.len()
         ));
     }
-    if !m.value_type(data.operands[0]).matches(mt.elem().unwrap()) {
+    if !mt
+        .elem()
+        .is_some_and(|e| m.value_type(data.operands[0]).matches(e))
+    {
         return Err("affine.store value must match the element type".into());
     }
     Ok(())

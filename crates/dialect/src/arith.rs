@@ -211,7 +211,7 @@ pub fn verify_binary(m: &Module, op: OpId) -> Result<(), String> {
             lt
         }
         (true, false) => {
-            if !lt.elem().unwrap().matches(rt) {
+            if !lt.elem().is_some_and(|e| e.matches(rt)) {
                 return Err(format!(
                     "'{}' cannot broadcast {rt} over {lt} (element mismatch)",
                     data.name
@@ -220,7 +220,7 @@ pub fn verify_binary(m: &Module, op: OpId) -> Result<(), String> {
             lt
         }
         (false, true) => {
-            if !rt.elem().unwrap().matches(lt) {
+            if !rt.elem().is_some_and(|e| e.matches(lt)) {
                 return Err(format!(
                     "'{}' cannot broadcast {lt} over {rt} (element mismatch)",
                     data.name

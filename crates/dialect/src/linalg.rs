@@ -240,10 +240,12 @@ pub fn verify_fill(m: &Module, op: OpId) -> Result<(), String> {
     if !bt.is_shaped() {
         return Err("linalg.fill target must be shaped".into());
     }
-    if !st.matches(bt.elem().unwrap()) {
+    let Some(be) = bt.elem() else {
+        return Err("linalg.fill target must be shaped".into());
+    };
+    if !st.matches(be) {
         return Err(format!(
-            "linalg.fill scalar {st} does not match element {}",
-            bt.elem().unwrap()
+            "linalg.fill scalar {st} does not match element {be}"
         ));
     }
     Ok(())

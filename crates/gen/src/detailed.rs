@@ -139,13 +139,17 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
             let mut bottom_work: Vec<Option<ValueId>> = vec![None; cu];
             for i in 0..ru {
                 for j in 0..cu {
+                    let filled = |o: Option<ValueId>| match o {
+                        Some(v) => v,
+                        None => unreachable!("the wavefront fills earlier PEs first"),
+                    };
                     let dep = match (i, j) {
                         (0, 0) => load_done,
-                        (0, _) => skew_done[0][j - 1].unwrap(),
-                        (_, 0) => skew_done[i - 1][0].unwrap(),
+                        (0, _) => filled(skew_done[0][j - 1]),
+                        (_, 0) => filled(skew_done[i - 1][0]),
                         _ => b.control_and(vec![
-                            skew_done[i - 1][j].unwrap(),
-                            skew_done[i][j - 1].unwrap(),
+                            filled(skew_done[i - 1][j]),
+                            filled(skew_done[i][j - 1]),
                         ]),
                     };
                     let skew = b.launch(dep, pes[i][j], &[], vec![]);
@@ -207,9 +211,13 @@ pub fn generate_systolic_detailed(spec: &SystolicSpec, dims: ConvDims) -> Systol
             };
             let mut store_done: Vec<ValueId> = vec![];
             for (j, &store) in stores.iter().enumerate().take(cu) {
+                let filled = |o: Option<ValueId>| match o {
+                    Some(v) => v,
+                    None => unreachable!("the wavefront covered every column"),
+                };
                 let dep = match spec.dataflow {
-                    Dataflow::Os => bottom_work[j].unwrap(),
-                    _ => skew_done[ru - 1][j].unwrap(),
+                    Dataflow::Os => filled(bottom_work[j]),
+                    _ => filled(skew_done[ru - 1][j]),
                 };
                 let st = b.launch(dep, store, &[col_bufs[j]], vec![]);
                 {

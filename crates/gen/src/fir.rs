@@ -255,7 +255,10 @@ fn pipelined(spec: FirSpec, cores: usize, bandwidth: Option<u32>) -> Module {
             let dep = if k == 0 {
                 start
             } else {
-                prev_compute[k - 1].expect("stage k-1 computed this group already")
+                match prev_compute[k - 1] {
+                    Some(v) => v,
+                    None => unreachable!("stage k-1 computed this group already"),
+                }
             };
             let src = if k == 0 { sin } else { stage_bufs[k - 1] };
             let arrived = b.memcpy(dep, src, stage_bufs[k], dmas[k], Some(conns[k]));

@@ -7,10 +7,13 @@
 //! both, plus the Fig. 11 lowering-pipeline stage programs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod detailed;
 mod fir;
 mod pipeline;
+pub mod scenarios;
 mod systolic;
 
 pub use detailed::generate_systolic_detailed;

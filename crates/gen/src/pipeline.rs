@@ -145,7 +145,9 @@ pub fn build_stage_program(
         }
         Stage::Systolic => unreachable!(),
     }
-    pm.run(&mut module).expect("pipeline must apply");
+    if let Err(e) = pm.run(&mut module) {
+        unreachable!("pipeline must apply: {e}")
+    }
 
     if stage == Stage::Reassign {
         reassign_to_registers(&mut module, dims, dma);
@@ -161,7 +163,9 @@ fn reassign_to_registers(module: &mut Module, dims: ConvDims, dma: equeue_ir::Va
     let allocs = module.find_all("equeue.alloc");
     let (sram_if, sram_w) = (module.result(allocs[0], 0), module.result(allocs[1], 0));
 
-    let launch = module.find_first("equeue.launch").expect("launch exists");
+    let Some(launch) = module.find_first("equeue.launch") else {
+        unreachable!("the lowered pipeline contains a launch")
+    };
     let cap = dims.ifmap_elems() + dims.weight_elems();
     let mut b = OpBuilder::before(module, launch);
     let regs = b.create_mem(kinds::REGISTER, &[cap], 32, 1);
@@ -188,7 +192,9 @@ trait RunOn {
 impl RunOn for ReassignBuffer {
     fn run_on(mut self, module: &mut Module) {
         use equeue_ir::Pass;
-        self.run(module).expect("reassign-buffer cannot fail");
+        if let Err(e) = self.run(module) {
+            unreachable!("reassign-buffer cannot fail: {e}")
+        }
     }
 }
 

@@ -65,8 +65,14 @@ impl<'m> OpBuilder<'m> {
     ///
     /// Panics if `op` is detached.
     pub fn before(module: &'m mut Module, op: OpId) -> Self {
-        let block = module.op(op).parent_block.expect("op must be attached");
-        let index = module.op_index_in_block(op).unwrap();
+        let block = match module.op(op).parent_block {
+            Some(b) => b,
+            None => panic!("op must be attached"),
+        };
+        let index = match module.op_index_in_block(op) {
+            Some(i) => i,
+            None => panic!("op must be attached"),
+        };
         OpBuilder {
             module,
             block,
@@ -80,8 +86,14 @@ impl<'m> OpBuilder<'m> {
     ///
     /// Panics if `op` is detached.
     pub fn after(module: &'m mut Module, op: OpId) -> Self {
-        let block = module.op(op).parent_block.expect("op must be attached");
-        let index = module.op_index_in_block(op).unwrap() + 1;
+        let block = match module.op(op).parent_block {
+            Some(b) => b,
+            None => panic!("op must be attached"),
+        };
+        let index = match module.op_index_in_block(op) {
+            Some(i) => i + 1,
+            None => panic!("op must be attached"),
+        };
         OpBuilder {
             module,
             block,

@@ -389,6 +389,13 @@ impl Module {
         self.blocks.len()
     }
 
+    /// Number of regions ever created. Same dense-side-table role as
+    /// [`Module::num_blocks`], for clients that must bounds-check
+    /// [`RegionId`]s from possibly-inconsistent (fuzzer-mutated) IR.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
     /// All live (non-erased) op ids, in arena order.
     pub fn live_ops(&self) -> impl Iterator<Item = OpId> + '_ {
         self.ops

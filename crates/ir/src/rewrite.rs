@@ -95,11 +95,14 @@ pub fn inline_region(
 /// Panics if `anchor` is detached.
 pub fn move_before(module: &mut Module, op: OpId, anchor: OpId) {
     module.detach_op(op);
-    let block = module
-        .op(anchor)
-        .parent_block
-        .expect("anchor must be attached");
-    let index = module.op_index_in_block(anchor).unwrap();
+    let block = match module.op(anchor).parent_block {
+        Some(b) => b,
+        None => panic!("anchor must be attached"),
+    };
+    let index = match module.op_index_in_block(anchor) {
+        Some(i) => i,
+        None => panic!("anchor must be attached"),
+    };
     module.insert_op(block, index, op);
 }
 
@@ -110,11 +113,14 @@ pub fn move_before(module: &mut Module, op: OpId, anchor: OpId) {
 /// Panics if `anchor` is detached.
 pub fn move_after(module: &mut Module, op: OpId, anchor: OpId) {
     module.detach_op(op);
-    let block = module
-        .op(anchor)
-        .parent_block
-        .expect("anchor must be attached");
-    let index = module.op_index_in_block(anchor).unwrap() + 1;
+    let block = match module.op(anchor).parent_block {
+        Some(b) => b,
+        None => panic!("anchor must be attached"),
+    };
+    let index = match module.op_index_in_block(anchor) {
+        Some(i) => i + 1,
+        None => panic!("anchor must be attached"),
+    };
     module.insert_op(block, index, op);
 }
 

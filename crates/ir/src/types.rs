@@ -185,7 +185,7 @@ impl Type {
     /// type (shaped types), rounded up to whole bytes.
     pub fn elem_byte_width(&self) -> Option<usize> {
         let scalar = match self {
-            t if t.is_shaped() => t.elem().unwrap(),
+            t if t.is_shaped() => t.elem()?,
             t => t,
         };
         scalar.bit_width().map(|b| b.div_ceil(8))

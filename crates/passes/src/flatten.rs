@@ -150,7 +150,10 @@ impl FlattenConvLoops {
                     .set("flattened", self.dataflow.as_str());
                 (inner, iv)
             } else {
-                let mut b = OpBuilder::at_end(module, body.unwrap());
+                let Some(body) = body else {
+                    unreachable!("inner dimensions follow the first")
+                };
+                let mut b = OpBuilder::at_end(module, body);
                 let (_, inner, iv) = b.affine_for(0, extent(dim), 1);
                 b.affine_yield();
                 (inner, iv)
@@ -158,11 +161,16 @@ impl FlattenConvLoops {
             ivs.push((dim, iv));
             body = Some(inner);
         }
-        let body = body.unwrap();
+        let Some(body) = body else {
+            unreachable!("the dim list is never empty")
+        };
 
         // Recover the six original indices and rebuild the MAC body.
         let mut kb = OpBuilder::at_end(module, body);
-        let iv_of = |d: Dim, ivs: &[(Dim, ValueId)]| ivs.iter().find(|(x, _)| *x == d).unwrap().1;
+        let iv_of = |d: Dim, ivs: &[(Dim, ValueId)]| match ivs.iter().find(|(x, _)| *x == d) {
+            Some((_, iv)) => *iv,
+            None => unreachable!("every dim was pushed above"),
+        };
         let e = iv_of(Dim::E, &ivs);
         let nn = iv_of(Dim::N, &ivs);
         let k = iv_of(Dim::K, &ivs);

@@ -60,10 +60,12 @@ impl Pass for WrapInLaunch {
         let Some(first) = first else {
             return Ok(()); // nothing to wrap
         };
-        let last = ops
+        let Some(last) = ops
             .iter()
             .rposition(|&o| !stays_outside(&module.op(o).name))
-            .unwrap();
+        else {
+            unreachable!("position above found a match")
+        };
         let to_move: Vec<OpId> = ops[first..=last].to_vec();
 
         // Values defined in the moved range must not be used after it.

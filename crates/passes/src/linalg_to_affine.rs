@@ -157,7 +157,10 @@ fn lower_fill(module: &mut Module, op: OpId) -> IrResult<()> {
             let (_, inner, iv) = ib.affine_for(0, dim as i64, 1);
             (inner, iv)
         } else {
-            let mut ib = OpBuilder::at_end(module, body.unwrap());
+            let Some(body) = body else {
+                unreachable!("inner dimensions follow the first")
+            };
+            let mut ib = OpBuilder::at_end(module, body);
             let (_, inner, iv) = ib.affine_for(0, dim as i64, 1);
             ib.affine_yield();
             (inner, iv)

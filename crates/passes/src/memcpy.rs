@@ -72,7 +72,10 @@ impl Pass for MemcpyToLaunch {
             let data_ty = if n <= 1 {
                 elem
             } else {
-                Type::tensor(buf_ty.shape().unwrap().to_vec(), elem)
+                match buf_ty.shape() {
+                    Some(s) => Type::tensor(s.to_vec(), elem),
+                    None => unreachable!("n > 1 implies a shaped buffer"),
+                }
             };
 
             let region = module.new_region(None);
@@ -179,7 +182,10 @@ impl Pass for MergeMemcpyLaunch {
             let data_ty = if n <= 1 {
                 elem
             } else {
-                Type::tensor(buf_ty.shape().unwrap().to_vec(), elem)
+                match buf_ty.shape() {
+                    Some(s) => Type::tensor(s.to_vec(), elem),
+                    None => unreachable!("n > 1 implies a shaped buffer"),
+                }
             };
             {
                 let mut ib = OpBuilder::at(module, body, 0);

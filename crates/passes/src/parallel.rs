@@ -77,8 +77,10 @@ impl ParallelToEqueue {
             points = next;
         }
 
-        let parent = module.op(par).parent_block.unwrap();
-        let at = module.op_index_in_block(par).unwrap();
+        let (Some(parent), Some(at)) = (module.op(par).parent_block, module.op_index_in_block(par))
+        else {
+            unreachable!("the pass only rewrites attached ops")
+        };
         let mut b = OpBuilder::at(module, parent, at);
         let start = b
             .op("equeue.control_start")

@@ -70,7 +70,9 @@ impl Pass for SplitLaunch {
         }
 
         // Rebuild the head terminator: return old results + threaded values.
-        let old_ret = *body_ops.last().unwrap();
+        let Some(&old_ret) = body_ops.last() else {
+            unreachable!("launch bodies end with a terminator")
+        };
         let is_ret = module.op(old_ret).name == "equeue.return";
         let old_ret_operands = if is_ret {
             module.op(old_ret).operands.clone()
@@ -132,8 +134,12 @@ impl Pass for SplitLaunch {
             l1_data.attrs.clone(),
             vec![region1],
         );
-        let at_idx = module.op_index_in_block(launch).unwrap();
-        let parent = module.op(launch).parent_block.unwrap();
+        let (Some(at_idx), Some(parent)) = (
+            module.op_index_in_block(launch),
+            module.op(launch).parent_block,
+        ) else {
+            unreachable!("the pass only rewrites attached launches")
+        };
         // Replace old results with the new op's.
         for (i, &old) in l1_data.results.iter().enumerate() {
             let new = module.result(new_l1, i);

@@ -36,6 +36,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 /// Systolic array dimensions (`Ah × Aw` in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

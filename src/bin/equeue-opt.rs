@@ -15,6 +15,9 @@
 //! paper's pass options name components: `allocate-buffer` places buffers
 //! on the *first* memory declared, `launch` targets the *first* processor.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use equeue::prelude::*;
 use equeue_ir::{IrError, Pass};
 use equeue_passes as passes;

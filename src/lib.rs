@@ -52,6 +52,9 @@
 //! # Ok::<(), equeue::sim::SimError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub use equeue_core as sim;
 pub use equeue_dialect as dialect;
 pub use equeue_gen as gen;
