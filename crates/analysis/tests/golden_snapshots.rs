@@ -20,8 +20,10 @@ use equeue_analysis::analyze_module;
 use equeue_core::{RunLimits, SimLibrary};
 use equeue_gen::scenarios::golden_scenarios;
 
-/// Scenarios pinned as snapshots: one per paper figure family plus the
-/// matmul microbenchmarks (both fusible and non-fusible shapes).
+/// Scenarios pinned as snapshots: one per paper figure family, the matmul
+/// microbenchmarks (both fusible and non-fusible shapes), and the
+/// scenario-diversity sweep (cache + DMA staging, tenant interleaving,
+/// wide processor grid).
 const SNAPSHOT_SCENARIOS: &[&str] = &[
     "fig09_4x4_ws_8x8",
     "fig11_systolic_ws_8",
@@ -29,13 +31,16 @@ const SNAPSHOT_SCENARIOS: &[&str] = &[
     "fir_pipelined16",
     "matmul_linalg16",
     "matmul_affine16",
+    "conv2d_systolic_8x3",
+    "multi_tenant_4x16x6",
+    "mega_grid_8x8",
 ];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
-fn render(name: &str) -> String {
+fn report(name: &str) -> equeue_analysis::AnalysisReport {
     let scenario = golden_scenarios()
         .into_iter()
         .find(|s| s.name == name)
@@ -45,7 +50,10 @@ fn render(name: &str) -> String {
         &SimLibrary::standard(),
         &RunLimits::default(),
     )
-    .to_text()
+}
+
+fn render(name: &str) -> String {
+    report(name).to_text()
 }
 
 #[test]
@@ -57,19 +65,23 @@ fn snapshots_match_golden_files() {
     }
     let mut mismatches = Vec::new();
     for name in SNAPSHOT_SCENARIOS {
-        let actual = render(name);
-        let path = dir.join(format!("{name}.txt"));
-        if update {
-            std::fs::write(&path, &actual).expect("write golden file");
-            continue;
-        }
-        let expected = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
-        if actual != expected {
-            mismatches.push(format!(
-                "{name}: analysis output diverged from {}\n--- expected\n{expected}\n--- actual\n{actual}",
-                path.display()
-            ));
+        let r = report(name);
+        // Both renderings are pinned: `.txt` for readable diffs, `.json`
+        // for the machine-facing form the sweep tooling consumes.
+        for (ext, actual) in [("txt", r.to_text()), ("json", r.to_json())] {
+            let path = dir.join(format!("{name}.{ext}"));
+            if update {
+                std::fs::write(&path, &actual).expect("write golden file");
+                continue;
+            }
+            let expected = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+            if actual != expected {
+                mismatches.push(format!(
+                    "{name}: analysis output diverged from {}\n--- expected\n{expected}\n--- actual\n{actual}",
+                    path.display()
+                ));
+            }
         }
     }
     assert!(

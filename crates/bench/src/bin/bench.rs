@@ -520,6 +520,32 @@ fn main() {
             args.backend,
         ));
     }
+    // Scenario-diversity sweep additions (same shapes as the golden list,
+    // so the drift guard pins the exact modules the replay harness replays).
+    if enabled("conv2d_systolic_8x3") {
+        rows.push(sim_row(
+            "conv2d_systolic_8x3",
+            iters(10),
+            scenarios::conv2d_systolic(8, 3, 2, 4),
+            args.backend,
+        ));
+    }
+    if enabled("multi_tenant_4x16x6") {
+        rows.push(sim_row(
+            "multi_tenant_4x16x6",
+            iters(10),
+            scenarios::multi_tenant_trace(4, 16, 6),
+            args.backend,
+        ));
+    }
+    if enabled("mega_grid_8x8") {
+        rows.push(sim_row(
+            "mega_grid_8x8",
+            iters(10),
+            scenarios::mega_grid(8, 8, 4),
+            args.backend,
+        ));
+    }
 
     if rows.is_empty() {
         eprintln!(

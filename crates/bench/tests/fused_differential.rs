@@ -49,6 +49,7 @@ fn bounded(backend: Backend) -> SimOptions {
         },
         cancel: None,
         backend,
+        ..Default::default()
     }
 }
 

@@ -24,9 +24,12 @@
 //! can serve `Fused` and `Interp` runs concurrently, with bit-identical
 //! cycle/event/op counts between them (see `docs/fused-backend.md`).
 
-use crate::engine::{run_with_plan, Backend, Plan, SimError, SimOptions};
+use crate::engine::{
+    resume_with_plan, run_with_plan, snapshot_with_plan, Backend, Plan, SimError, SimOptions,
+};
 use crate::library::SimLibrary;
 use crate::profile::SimReport;
+use crate::snapshot::Snapshot;
 use equeue_ir::Module;
 use std::time::Instant;
 
@@ -164,6 +167,62 @@ impl CompiledModule {
         )
     }
 
+    /// Runs the module up to [`SimOptions::snapshot_at`] and captures a
+    /// [`Snapshot`] of the complete engine state at that cycle boundary.
+    ///
+    /// The capture lands at the first scheduler boundary at or after the
+    /// requested cycle: every event strictly before it has been processed.
+    /// Under [`Backend::Fused`] a cut requested mid-trace lands at the next
+    /// trace exit (recorded in [`Snapshot::actual_cut`]). If the program
+    /// finishes before the cut, the snapshot records the terminal state and
+    /// [`Snapshot::completed`] is `true`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] when `options.snapshot_at` is `None`;
+    /// otherwise any error the run itself produces (see [`SimError`]).
+    pub fn snapshot(&self, options: &SimOptions) -> Result<Snapshot, SimError> {
+        snapshot_with_plan(
+            &self.module,
+            &self.plan,
+            &self.library,
+            options,
+            Instant::now(),
+        )
+    }
+
+    /// Resumes a [`Snapshot`] and runs it to completion.
+    ///
+    /// The resulting report is bit-identical (cycles, events, ops, buffer
+    /// contents, traffic) to an uninterrupted [`simulate`] of the same
+    /// module, regardless of which backend captured the snapshot and which
+    /// resumes it — except `execution_time`, which covers only the resumed
+    /// window. Counters are run totals continuing from the snapshot. The
+    /// wall-clock budget ([`crate::RunLimits::wall_deadline`]) restarts at
+    /// the resume; cycle/event budgets continue from the captured counters.
+    /// `options.snapshot_at` is ignored — a resumed run always runs to
+    /// completion. With `trace: true`, the report's waveform covers only
+    /// the resumed window: per trace row, a suffix of the full-run
+    /// waveform — work already executed or issued at capture time (e.g. a
+    /// DMA transfer in flight across the cut) belongs to the pre-cut leg.
+    ///
+    /// [`simulate`]: CompiledModule::simulate
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] when the snapshot does not match this module;
+    /// otherwise any error the resumed run produces (see [`SimError`]).
+    pub fn resume(&self, snapshot: &Snapshot, options: &SimOptions) -> Result<SimReport, SimError> {
+        resume_with_plan(
+            &self.module,
+            &self.plan,
+            &self.library,
+            options,
+            Instant::now(),
+            snapshot,
+        )
+    }
+
     /// The compiled module.
     pub fn module(&self) -> &Module {
         &self.module
@@ -206,6 +265,7 @@ const _: () = {
     _send_sync::<crate::CancelToken>();
     _send_sync::<crate::RunLimits>();
     _send_sync::<SimError>();
+    _send_sync::<Snapshot>();
 };
 
 #[cfg(test)]

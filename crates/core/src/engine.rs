@@ -47,9 +47,16 @@
 use crate::error::{LimitExceeded, LimitKind, Progress};
 use crate::interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int, BinOp};
 use crate::library::{MemSpec, SimLibrary};
-use crate::machine::{AccessKind, Machine, ProcProfile, RegisterBehavior};
+use crate::machine::{
+    AccessKind, Component, ComponentKind, Composite, Connection, Machine, Memory, ProcProfile,
+    Processor, RegisterBehavior,
+};
 use crate::profile::SimReport;
-use crate::signal::SignalTable;
+use crate::signal::{SignalState, SignalTable};
+use crate::snapshot::{
+    err as snap_err, CompKindSnap, CompSnap, ConnSnap, MachineSnap, MemSnap, ModuleFingerprint,
+    ProcSnap, ProfileSnap, Snapshot,
+};
 use crate::trace::{Trace, TraceCat};
 use crate::value::{BufId, CompId, SignalId, SimValue, Tensor, TensorData};
 pub use crate::{CancelToken, RunLimits, SimError};
@@ -103,6 +110,14 @@ pub struct SimOptions {
     /// produce bit-identical cycles, events, ops, and buffer contents; they
     /// differ only in wall-clock speed.
     pub backend: Backend,
+    /// Cycle boundary at which [`crate::CompiledModule::snapshot`] pauses
+    /// the run and captures a [`crate::Snapshot`]: the engine stops before
+    /// processing the first event at or after this cycle. Only consulted by
+    /// `CompiledModule::snapshot` — [`simulate`], [`simulate_with`], and
+    /// [`crate::CompiledModule::simulate`] ignore it, and
+    /// [`crate::CompiledModule::resume`] ignores it too (a resumed run
+    /// always runs to completion).
+    pub snapshot_at: Option<u64>,
 }
 
 impl Default for SimOptions {
@@ -112,6 +127,7 @@ impl Default for SimOptions {
             limits: RunLimits::default(),
             cancel: None,
             backend: Backend::default(),
+            snapshot_at: None,
         }
     }
 }
@@ -177,6 +193,14 @@ pub(crate) fn run_with_plan(
 ) -> Result<SimReport, SimError> {
     let mut engine = Engine::new(module, plan, library, options, start);
     engine.run()?;
+    Ok(build_report(&mut engine, start))
+}
+
+/// Assembles the final [`SimReport`] from a finished engine. Shared by the
+/// plain and resumed entry points: counters are run totals (a resumed run's
+/// counters continue from the snapshot), while `execution_time` covers only
+/// the window since `start` (the resumed portion, for a resume).
+fn build_report(engine: &mut Engine, start: Instant) -> SimReport {
     let mut report = SimReport {
         cycles: engine.horizon,
         execution_time: start.elapsed(),
@@ -189,7 +213,147 @@ pub(crate) fn run_with_plan(
         ..Default::default()
     };
     report.collect(&engine.machine);
-    Ok(report)
+    report
+}
+
+/// Runs `module` up to `options.snapshot_at` and captures a [`Snapshot`]:
+/// the entry point behind [`crate::CompiledModule::snapshot`].
+///
+/// The engine pauses before processing the first event at or after the cut
+/// (under the fused backend, at the first trace exit at or after it). If the
+/// program completes earlier, the snapshot records the terminal state and is
+/// marked [`completed`](Snapshot::completed).
+pub(crate) fn snapshot_with_plan(
+    module: &Module,
+    plan: &Plan,
+    library: &SimLibrary,
+    options: &SimOptions,
+    start: Instant,
+) -> Result<Snapshot, SimError> {
+    let Some(cut) = options.snapshot_at else {
+        return Err(snap_err(
+            "SimOptions::snapshot_at is not set (nothing to capture)",
+        ));
+    };
+    let mut engine = Engine::new(module, plan, library, options, start);
+    engine.snapshot_at = Some(cut);
+    engine.run()?;
+    Ok(engine.capture(cut))
+}
+
+/// Restores a [`Snapshot`] and runs it to completion: the entry point behind
+/// [`crate::CompiledModule::resume`]. `start` should be the resume time —
+/// the wall-clock budget restarts from it, while cycle/event budgets
+/// continue from the snapshot's counters.
+pub(crate) fn resume_with_plan(
+    module: &Module,
+    plan: &Plan,
+    library: &SimLibrary,
+    options: &SimOptions,
+    start: Instant,
+    snap: &Snapshot,
+) -> Result<SimReport, SimError> {
+    let mut engine = Engine::from_snapshot(module, plan, library, options, start, snap)?;
+    engine.run()?;
+    Ok(build_report(&mut engine, start))
+}
+
+/// Validates every id a restored [`SimValue`] references, so a resumed
+/// engine never indexes out of range on snapshot-supplied data.
+fn check_value(
+    v: &SimValue,
+    nsig: usize,
+    ncomp: usize,
+    nbuf: usize,
+    nconn: usize,
+) -> Result<(), SimError> {
+    let ok = match v {
+        SimValue::Signal(s) => (s.0 as usize) < nsig,
+        SimValue::Deferred { signal, .. } => (signal.0 as usize) < nsig,
+        SimValue::Component(c) => (c.0 as usize) < ncomp,
+        SimValue::Buffer(b) => (b.0 as usize) < nbuf,
+        SimValue::Connection(c) => (c.0 as usize) < nconn,
+        _ => true,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(snap_err("id out of range in a captured value"))
+    }
+}
+
+/// Validates a restored queue event against the plan and arena sizes.
+fn check_event(
+    ev: &PendingEvent,
+    plan: &Plan,
+    nsig: usize,
+    ncomp: usize,
+    nbuf: usize,
+    nconn: usize,
+) -> Result<(), SimError> {
+    if (ev.dep.0 as usize) >= nsig || (ev.done.0 as usize) >= nsig {
+        return Err(snap_err("queued event references an unknown signal"));
+    }
+    match &ev.kind {
+        EventKind::Launch { op, env } => {
+            let Some(OpCode::Launch(info)) = plan.ops.get(op.index()).map(|o| &o.code) else {
+                return Err(snap_err("queued launch does not name a launch op"));
+            };
+            if env.len() != info.frame_len {
+                return Err(snap_err("queued launch environment has the wrong size"));
+            }
+            for v in env.iter().flatten() {
+                check_value(v, nsig, ncomp, nbuf, nconn)?;
+            }
+        }
+        EventKind::Memcpy { src, dst, conn } => {
+            if (src.0 as usize) >= nbuf || (dst.0 as usize) >= nbuf {
+                return Err(snap_err("queued memcpy references an unknown buffer"));
+            }
+            if conn.is_some_and(|c| (c.0 as usize) >= nconn) {
+                return Err(snap_err("queued memcpy references an unknown connection"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a restored frame: scope layout, block stack, loop state, and
+/// every captured value.
+fn check_frame(
+    frame: &Frame,
+    module: &Module,
+    plan: &Plan,
+    nsig: usize,
+    ncomp: usize,
+    nbuf: usize,
+    nconn: usize,
+) -> Result<(), SimError> {
+    let Some(layout) = plan.scopes.get(frame.scope as usize) else {
+        return Err(snap_err("frame references an unknown scope"));
+    };
+    if frame.env.len() != layout.len {
+        return Err(snap_err(
+            "frame environment does not match its scope layout",
+        ));
+    }
+    if (frame.done.0 as usize) >= nsig {
+        return Err(snap_err("frame done-signal out of range"));
+    }
+    for v in frame.env.iter().flatten() {
+        check_value(v, nsig, ncomp, nbuf, nconn)?;
+    }
+    for scope in &frame.stack {
+        if scope.block.index() >= module.num_blocks() {
+            return Err(snap_err("frame block out of range"));
+        }
+        if let Some(state) = &scope.looping {
+            if state.ivs.iter().any(|&iv| (iv as usize) >= frame.env.len()) {
+                return Err(snap_err("loop induction slot out of range"));
+            }
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -976,9 +1140,10 @@ fn decode_op(
 // Runtime state
 // ---------------------------------------------------------------------------
 
-/// A pending event in a processor's event queue.
-#[derive(Debug)]
-enum EventKind {
+/// A pending event in a processor's event queue. `pub(crate)` + `Clone` so
+/// the snapshot codec can serialise and restore queues verbatim.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind {
     Launch {
         op: OpId,
         env: Vec<Option<SimValue>>,
@@ -990,11 +1155,11 @@ enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct PendingEvent {
-    kind: EventKind,
-    dep: SignalId,
-    done: SignalId,
+#[derive(Debug, Clone)]
+pub(crate) struct PendingEvent {
+    pub(crate) kind: EventKind,
+    pub(crate) dep: SignalId,
+    pub(crate) done: SignalId,
 }
 
 /// Loop bookkeeping for `affine.for` / `affine.parallel` scopes.
@@ -1032,7 +1197,7 @@ impl LoopState {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Scope {
     pub(crate) block: BlockId,
     pub(crate) idx: usize,
@@ -1041,12 +1206,12 @@ pub(crate) struct Scope {
 
 /// An executing launch body: a dense slot-indexed environment plus a block
 /// stack. `scope` names the frame's [`ScopeLayout`] (diagnostics).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Frame {
     pub(crate) env: Vec<Option<SimValue>>,
     pub(crate) stack: Vec<Scope>,
-    done: SignalId,
-    scope: u32,
+    pub(crate) done: SignalId,
+    pub(crate) scope: u32,
 }
 
 /// Cycle counts for the hottest op classes, resolved from a
@@ -1062,7 +1227,7 @@ pub(crate) struct HotCycles {
 }
 
 impl HotCycles {
-    fn from_profile(p: &ProcProfile) -> Self {
+    pub(crate) fn from_profile(p: &ProcProfile) -> Self {
         let mut arith = [0u64; BinOp::COUNT];
         for (i, op) in BinOp::ALL.into_iter().enumerate() {
             arith[i] = p.cycles(op.name());
@@ -1079,11 +1244,11 @@ impl HotCycles {
 
 #[derive(Debug)]
 pub(crate) struct ProcRuntime {
-    comp: CompId,
-    queue: VecDeque<PendingEvent>,
-    frame: Option<Frame>,
+    pub(crate) comp: CompId,
+    pub(crate) queue: VecDeque<PendingEvent>,
+    pub(crate) frame: Option<Frame>,
     pub(crate) clock: u64,
-    profile: ProcProfile,
+    pub(crate) profile: ProcProfile,
     pub(crate) hot: HotCycles,
 }
 
@@ -1172,6 +1337,14 @@ pub(crate) struct Engine<'m> {
     fused_on: bool,
     /// Per-run fused-trace scratch (registers, costs, skip set).
     pub(crate) fused: crate::fused::FusedScratch,
+    /// When armed (`Some(cut)`), the scheduler pauses before processing the
+    /// first event at or after cycle `cut` so [`Engine::capture`] can
+    /// serialise the state. Armed only by the snapshot entry point — plain
+    /// runs never set it. Read by the fused backend to cap trace barriers.
+    pub(crate) snapshot_at: Option<u64>,
+    /// Set when [`Engine::run`] returned because it reached `snapshot_at`
+    /// (as opposed to draining the heap / completing the program).
+    snapshot_due: bool,
 }
 
 impl<'m> Engine<'m> {
@@ -1214,6 +1387,8 @@ impl<'m> Engine<'m> {
             // op by op; fused traces engage only with tracing off.
             fused_on: options.backend == Backend::Fused && !options.trace,
             fused: crate::fused::FusedScratch::new(plan.fused.len()),
+            snapshot_at: None,
+            snapshot_due: false,
         };
         // The implicit host processor interprets the top block at time 0;
         // all its ops are free (orchestration, not datapath).
@@ -1254,6 +1429,306 @@ impl<'m> Engine<'m> {
         let t = time.max(self.now);
         self.heap.push(Reverse((t, self.seq, proc)));
         self.seq += 1;
+    }
+
+    /// Serialises the complete engine state into a [`Snapshot`]. Called
+    /// after [`Engine::run`] returned with `snapshot_at` armed — either
+    /// paused at the cut, or finished early (then the snapshot records the
+    /// terminal state).
+    fn capture(&self, requested: u64) -> Snapshot {
+        let mut heap: Vec<(u64, u64, u32)> = self
+            .heap
+            .iter()
+            .map(|&Reverse((t, s, p))| (t, s, p as u32))
+            .collect();
+        heap.sort_unstable();
+        let actual_cut = heap.first().map_or(self.horizon, |&(t, _, _)| t);
+        let components = self
+            .machine
+            .components
+            .iter()
+            .map(|c| CompSnap {
+                name: c.name.clone(),
+                kind: match &c.kind {
+                    ComponentKind::Processor(p) => CompKindSnap::Processor {
+                        kind: p.kind.clone(),
+                        profile: ProfileSnap::capture(&p.profile),
+                    },
+                    ComponentKind::Memory(m) => CompKindSnap::Memory(MemSnap {
+                        kind: m.kind.clone(),
+                        capacity_elems: m.capacity_elems as u64,
+                        data_bits: m.data_bits,
+                        banks: m.banks,
+                        used_elems: m.used_elems as u64,
+                        behavior: m.behavior.snapshot_behavior(),
+                        ports: m.ports.clone(),
+                        counters: m.counters,
+                        energy_per_access_pj: m.energy_per_access_pj,
+                    }),
+                    ComponentKind::Dma => CompKindSnap::Dma,
+                    ComponentKind::Composite(comp) => CompKindSnap::Composite(
+                        comp.children
+                            .iter()
+                            .map(|(n, id)| (n.clone(), id.0))
+                            .collect(),
+                    ),
+                },
+            })
+            .collect();
+        let connections = self
+            .machine
+            .connections
+            .iter()
+            .map(|c| {
+                let (read_free, write_free) = c.channel_state();
+                ConnSnap {
+                    name: c.name.clone(),
+                    kind: c.kind,
+                    bytes_per_cycle: c.bytes_per_cycle,
+                    read_free,
+                    write_free,
+                    transfers: c.transfers.clone(),
+                }
+            })
+            .collect();
+        Snapshot {
+            requested_cut: requested,
+            actual_cut,
+            completed: !self.snapshot_due,
+            capture_backend: self.options.backend,
+            fingerprint: ModuleFingerprint {
+                num_ops: self.module.num_ops() as u64,
+                num_blocks: self.module.num_blocks() as u64,
+                num_values: self.module.num_values() as u64,
+            },
+            now: self.now,
+            horizon: self.horizon,
+            wakes: self.wakes,
+            ops_interpreted: self.ops_interpreted,
+            events_spawned: self.events_spawned,
+            live_tensor_bytes: self.live_tensor_bytes,
+            peak_live_tensor_bytes: self.peak_live_tensor_bytes,
+            fused_trace_entries: self.fused_trace_entries,
+            idle_steps: self.idle_steps,
+            seq: self.seq,
+            host_mem: self.host_mem.map(|c| c.0),
+            heap,
+            signals: self.signals.signals.clone(),
+            procs: self
+                .procs
+                .iter()
+                .map(|p| ProcSnap {
+                    comp: p.comp.0,
+                    clock: p.clock,
+                    profile: ProfileSnap::capture(&p.profile),
+                    queue: p.queue.iter().cloned().collect(),
+                    frame: p.frame.clone(),
+                })
+                .collect(),
+            machine: MachineSnap {
+                components,
+                buffers: self.machine.buffers.clone(),
+                connections,
+            },
+        }
+    }
+
+    /// Rebuilds a runnable engine from a decoded [`Snapshot`], validating
+    /// every cross-reference so adversarial or mismatched snapshots fail
+    /// with [`SimError::Snapshot`] instead of panicking later. The wall
+    /// deadline restarts from `start`; cycle/event budgets continue from the
+    /// snapshot's counters.
+    fn from_snapshot(
+        module: &'m Module,
+        plan: &'m Plan,
+        lib: &'m SimLibrary,
+        options: &SimOptions,
+        start: Instant,
+        snap: &Snapshot,
+    ) -> Result<Self, SimError> {
+        let fp = ModuleFingerprint {
+            num_ops: module.num_ops() as u64,
+            num_blocks: module.num_blocks() as u64,
+            num_values: module.num_values() as u64,
+        };
+        if snap.fingerprint != fp {
+            return Err(snap_err(
+                "snapshot was captured from a different module (fingerprint mismatch)",
+            ));
+        }
+        let nsig = snap.signals.len();
+        let ncomp = snap.machine.components.len();
+        let nbuf = snap.machine.buffers.len();
+        let nconn = snap.machine.connections.len();
+        let nproc = snap.procs.len();
+        for s in &snap.signals {
+            match s {
+                SignalState::Pending { dependents, .. } => {
+                    if dependents.iter().any(|d| (d.0 as usize) >= nsig) {
+                        return Err(snap_err("signal dependent out of range"));
+                    }
+                }
+                SignalState::Resolved { payload, .. } => {
+                    for v in payload {
+                        check_value(v, nsig, ncomp, nbuf, nconn)?;
+                    }
+                }
+            }
+        }
+        // Rebuild the hardware model.
+        let mut machine = Machine::new();
+        for c in &snap.machine.components {
+            let kind = match &c.kind {
+                CompKindSnap::Processor { kind, profile } => ComponentKind::Processor(Processor {
+                    kind: kind.clone(),
+                    profile: profile.restore(),
+                }),
+                CompKindSnap::Memory(m) => {
+                    if m.ports.is_empty() {
+                        return Err(snap_err("memory with no access ports"));
+                    }
+                    let capacity_elems = usize::try_from(m.capacity_elems)
+                        .map_err(|_| snap_err("memory capacity exceeds the address space"))?;
+                    let used_elems = usize::try_from(m.used_elems)
+                        .map_err(|_| snap_err("memory usage exceeds the address space"))?;
+                    let behavior = match m.behavior.rebuild() {
+                        Some(b) => b,
+                        // Opaque custom model: re-create it from the library
+                        // factory (exact only for stateless models — see
+                        // `MemoryBehavior::snapshot_behavior`).
+                        None => lib.make_memory(&MemSpec {
+                            kind: m.kind.clone(),
+                            capacity_elems,
+                            data_bits: m.data_bits,
+                            banks: m.banks,
+                            attrs: AttrMap::new(),
+                        }),
+                    };
+                    ComponentKind::Memory(Memory {
+                        kind: m.kind.clone(),
+                        capacity_elems,
+                        data_bits: m.data_bits,
+                        banks: m.banks,
+                        used_elems,
+                        behavior,
+                        ports: m.ports.clone(),
+                        counters: m.counters,
+                        energy_per_access_pj: m.energy_per_access_pj,
+                    })
+                }
+                CompKindSnap::Dma => ComponentKind::Dma,
+                CompKindSnap::Composite(children) => {
+                    if children.iter().any(|(_, id)| (*id as usize) >= ncomp) {
+                        return Err(snap_err("composite child out of range"));
+                    }
+                    ComponentKind::Composite(Composite {
+                        children: children
+                            .iter()
+                            .map(|(n, id)| (n.clone(), CompId(*id)))
+                            .collect(),
+                    })
+                }
+            };
+            machine.components.push(Component {
+                name: c.name.clone(),
+                kind,
+            });
+        }
+        for b in &snap.machine.buffers {
+            let mem_ok = matches!(
+                machine.components.get(b.mem.0 as usize),
+                Some(Component {
+                    kind: ComponentKind::Memory(_),
+                    ..
+                })
+            );
+            if !mem_ok {
+                return Err(snap_err("buffer owned by a non-memory component"));
+            }
+        }
+        machine.buffers = snap.machine.buffers.clone();
+        for c in &snap.machine.connections {
+            let mut conn = Connection::new(c.name.clone(), c.kind, c.bytes_per_cycle);
+            conn.restore_channels(c.read_free, c.write_free);
+            conn.transfers = c.transfers.clone();
+            machine.connections.push(conn);
+        }
+        // Rebuild processor runtimes.
+        let mut procs = Vec::with_capacity(nproc);
+        let mut proc_of_comp = HashMap::new();
+        for p in &snap.procs {
+            if (p.comp as usize) >= ncomp {
+                return Err(snap_err("processor component out of range"));
+            }
+            for ev in &p.queue {
+                check_event(ev, plan, nsig, ncomp, nbuf, nconn)?;
+            }
+            if let Some(frame) = &p.frame {
+                check_frame(frame, module, plan, nsig, ncomp, nbuf, nconn)?;
+            }
+            let profile = p.profile.restore();
+            proc_of_comp.insert(CompId(p.comp), procs.len());
+            procs.push(ProcRuntime {
+                comp: CompId(p.comp),
+                queue: p.queue.iter().cloned().collect(),
+                frame: p.frame.clone(),
+                clock: p.clock,
+                hot: HotCycles::from_profile(&profile),
+                profile,
+            });
+        }
+        if snap.heap.iter().any(|&(_, _, p)| (p as usize) >= nproc) {
+            return Err(snap_err("scheduled event targets an unknown processor"));
+        }
+        if let Some(hm) = snap.host_mem {
+            let ok = matches!(
+                machine.components.get(hm as usize),
+                Some(Component {
+                    kind: ComponentKind::Memory(_),
+                    ..
+                })
+            );
+            if !ok {
+                return Err(snap_err("host scratch memory is not a memory"));
+            }
+        }
+        let heap = snap
+            .heap
+            .iter()
+            .map(|&(t, s, p)| Reverse((t, s, p as usize)))
+            .collect();
+        Ok(Engine {
+            module,
+            plan,
+            lib,
+            options: options.clone(),
+            machine,
+            signals: SignalTable::from_states(snap.signals.clone()),
+            procs,
+            proc_of_comp,
+            heap,
+            seq: snap.seq,
+            now: snap.now,
+            horizon: snap.horizon,
+            wakes: snap.wakes,
+            ops_interpreted: snap.ops_interpreted,
+            events_spawned: snap.events_spawned,
+            live_tensor_bytes: snap.live_tensor_bytes,
+            peak_live_tensor_bytes: snap.peak_live_tensor_bytes,
+            fused_trace_entries: snap.fused_trace_entries,
+            idle_steps: snap.idle_steps,
+            deadline: options.limits.wall_deadline.map(|d| start + d),
+            trace: if options.trace {
+                Trace::new()
+            } else {
+                Trace::disabled()
+            },
+            host_mem: snap.host_mem.map(CompId),
+            fused_on: options.backend == Backend::Fused && !options.trace,
+            fused: crate::fused::FusedScratch::new(plan.fused.len()),
+            snapshot_at: None,
+            snapshot_due: false,
+        })
     }
 
     pub(crate) fn bump_horizon(&mut self, t: u64) {
@@ -1323,7 +1798,16 @@ impl<'m> Engine<'m> {
     }
 
     fn run(&mut self) -> Result<(), SimError> {
-        while let Some(Reverse((t, _, p))) = self.heap.pop() {
+        while let Some(Reverse((t, s, p))) = self.heap.pop() {
+            if self.snapshot_at.is_some_and(|cut| t >= cut) {
+                // Snapshot boundary: every event strictly before the cut has
+                // been processed. Push the event back untouched (its wake is
+                // counted by the resumed run's pop, keeping wake counts
+                // bit-identical with an uninterrupted run) and pause.
+                self.heap.push(Reverse((t, s, p)));
+                self.snapshot_due = true;
+                return Ok(());
+            }
             self.now = t;
             self.wakes += 1;
             self.check_budget(t)?;
@@ -1677,7 +2161,12 @@ impl<'m> Engine<'m> {
                         .heap
                         .peek()
                         .is_some_and(|&Reverse((t_top, _, _))| t_top <= clock);
-                    if contended {
+                    // An armed snapshot cut behaves like contention: yield to
+                    // the scheduler without counting a wake here — the
+                    // resumed run's pop of the rescheduled wake counts it,
+                    // exactly as the inline count would have.
+                    let paused = self.snapshot_at.is_some_and(|cut| clock >= cut);
+                    if contended || paused {
                         break Ok(Step::Yield);
                     }
                     self.now = clock;

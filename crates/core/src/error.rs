@@ -133,6 +133,10 @@ pub enum SimError {
     Limit(LimitExceeded),
     /// The run observed its [`CancelToken`]; carries partial statistics.
     Cancelled(Progress),
+    /// A serialized snapshot could not be decoded or does not match the
+    /// module it is being resumed against (bad magic, unknown version,
+    /// truncated stream, or shape mismatch).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -151,6 +155,7 @@ impl std::fmt::Display for SimError {
             SimError::Runtime(msg) => write!(f, "runtime error: {msg}"),
             SimError::Limit(l) => write!(f, "{l}"),
             SimError::Cancelled(p) => write!(f, "cancelled at {p}"),
+            SimError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

@@ -727,8 +727,14 @@ impl<'m> Engine<'m> {
 
         // ---- trace state: engine counters as locals. The heap is
         // untouched inside a trace (no pushes, no signal resolutions), so
-        // the earliest pending event is a constant contention barrier. ----
-        let barrier = self.heap.peek().map_or(u64::MAX, |&Reverse((t, _, _))| t);
+        // the earliest pending event is a constant contention barrier. An
+        // armed snapshot cut caps the barrier too: the trace then exits via
+        // `Exit::Yield` at the first timed op at or past the cut — this is
+        // where a snapshot requested mid-trace lands. ----
+        let mut barrier = self.heap.peek().map_or(u64::MAX, |&Reverse((t, _, _))| t);
+        if let Some(cut) = self.snapshot_at {
+            barrier = barrier.min(cut);
+        }
         let max_events = self.options.limits.max_events;
         let max_cycles = self.options.limits.max_cycles;
         let entry_clock = self.procs[p].clock;

@@ -102,6 +102,7 @@ mod library;
 mod machine;
 mod profile;
 mod signal;
+mod snapshot;
 mod trace;
 mod value;
 
@@ -116,11 +117,12 @@ pub use fused::FuseDecline;
 pub use interp::{apply_binary, apply_cmpi, conv2d_int, matmul_int};
 pub use library::{ExtOp, MemFactory, MemSpec, SimLibrary};
 pub use machine::{
-    AccessKind, Buffer, CacheBehavior, Component, ComponentKind, Connection, DramBehavior, Machine,
-    MemCounters, Memory, MemoryBehavior, ProcProfile, Processor, RegisterBehavior, SramBehavior,
-    Transfer,
+    AccessKind, BehaviorSnapshot, Buffer, CacheBehavior, Component, ComponentKind, Connection,
+    DramBehavior, Machine, MemCounters, Memory, MemoryBehavior, ProcProfile, Processor,
+    RegisterBehavior, SramBehavior, Transfer,
 };
 pub use profile::{BandwidthStats, BufferDump, ConnReport, MemReport, SimReport};
 pub use signal::SignalTable;
+pub use snapshot::{Snapshot, FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION};
 pub use trace::{Trace, TraceCat, TraceEvent};
 pub use value::{BufId, CompId, ConnId, SignalId, SimValue, Tensor, TensorData};

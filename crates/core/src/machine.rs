@@ -43,6 +43,111 @@ pub trait MemoryBehavior: Send {
     fn uniform_scalar_cycles(&self) -> Option<u64> {
         None
     }
+
+    /// The model's complete timing state, for simulation snapshots. The
+    /// stock behaviors return their matching [`BehaviorSnapshot`] variant so
+    /// a resumed run replays bit-identically; the default is
+    /// [`BehaviorSnapshot::Opaque`], which tells the snapshot codec it
+    /// cannot capture this model's state — on resume the memory is rebuilt
+    /// from its [`MemSpec`](crate::MemSpec) factory instead, which is only
+    /// exact for stateless custom models.
+    fn snapshot_behavior(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::Opaque
+    }
+}
+
+/// Serialisable timing state of a [`MemoryBehavior`], captured into
+/// simulation snapshots and replayed on resume.
+///
+/// The stock models round-trip exactly (including [`CacheBehavior`]'s LRU
+/// tag stacks and hit/miss counters). Custom library models that do not
+/// override [`MemoryBehavior::snapshot_behavior`] serialise as
+/// [`Opaque`](BehaviorSnapshot::Opaque) and are re-created from their
+/// factory on resume — exact only if the model is stateless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BehaviorSnapshot {
+    /// [`SramBehavior`] state.
+    Sram {
+        /// Cycles per banked access beat.
+        cycles_per_access: u64,
+    },
+    /// [`RegisterBehavior`] (stateless).
+    Register,
+    /// [`DramBehavior`] state.
+    Dram {
+        /// Activation latency.
+        latency: u64,
+        /// Cycles per banked beat.
+        cycles_per_access: u64,
+    },
+    /// [`CacheBehavior`] state, including the live LRU stacks.
+    Cache {
+        /// Number of sets.
+        sets: usize,
+        /// Associativity.
+        ways: usize,
+        /// Elements per line.
+        line_elems: usize,
+        /// Hit latency.
+        hit_cycles: u64,
+        /// Miss latency.
+        miss_cycles: u64,
+        /// Per-set LRU stacks of line tags (most recent last).
+        tags: Vec<Vec<usize>>,
+        /// Hit counter.
+        hits: u64,
+        /// Miss counter.
+        misses: u64,
+    },
+    /// A custom model whose state the codec cannot capture.
+    Opaque,
+}
+
+impl BehaviorSnapshot {
+    /// Rebuilds the concrete behavior object, or `None` for
+    /// [`Opaque`](BehaviorSnapshot::Opaque) (the caller falls back to the
+    /// library's memory factory).
+    pub(crate) fn rebuild(&self) -> Option<Box<dyn MemoryBehavior>> {
+        match self {
+            BehaviorSnapshot::Sram { cycles_per_access } => Some(Box::new(SramBehavior {
+                cycles_per_access: *cycles_per_access,
+            })),
+            BehaviorSnapshot::Register => Some(Box::new(RegisterBehavior)),
+            BehaviorSnapshot::Dram {
+                latency,
+                cycles_per_access,
+            } => Some(Box::new(DramBehavior {
+                latency: *latency,
+                cycles_per_access: *cycles_per_access,
+            })),
+            BehaviorSnapshot::Cache {
+                sets,
+                ways,
+                line_elems,
+                hit_cycles,
+                miss_cycles,
+                tags,
+                hits,
+                misses,
+            } => {
+                if *sets == 0 || *ways == 0 || *line_elems == 0 || tags.len() != *sets {
+                    return None;
+                }
+                Some(Box::new(CacheBehavior {
+                    sets: *sets,
+                    ways: *ways,
+                    line_elems: *line_elems,
+                    hit_cycles: *hit_cycles,
+                    miss_cycles: *miss_cycles,
+                    tags: tags.clone(),
+                    hits: *hits,
+                    misses: *misses,
+                }))
+            }
+            BehaviorSnapshot::Opaque => None,
+        }
+    }
 }
 
 /// SRAM: one access per bank per `cycles_per_access`; a burst of `elems`
@@ -74,6 +179,12 @@ impl MemoryBehavior for SramBehavior {
         // One element always occupies a single beat: div_ceil(1, banks) == 1.
         Some(self.cycles_per_access)
     }
+
+    fn snapshot_behavior(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::Sram {
+            cycles_per_access: self.cycles_per_access,
+        }
+    }
 }
 
 /// Register file: zero-latency access (the fabric the paper's systolic PEs
@@ -98,6 +209,10 @@ impl MemoryBehavior for RegisterBehavior {
 
     fn uniform_scalar_cycles(&self) -> Option<u64> {
         Some(0)
+    }
+
+    fn snapshot_behavior(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::Register
     }
 }
 
@@ -130,6 +245,13 @@ impl MemoryBehavior for DramBehavior {
 
     fn uniform_scalar_cycles(&self) -> Option<u64> {
         Some(self.latency + self.cycles_per_access)
+    }
+
+    fn snapshot_behavior(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::Dram {
+            latency: self.latency,
+            cycles_per_access: self.cycles_per_access,
+        }
     }
 }
 
@@ -222,6 +344,19 @@ impl MemoryBehavior for CacheBehavior {
 
     fn model_name(&self) -> &str {
         "Cache"
+    }
+
+    fn snapshot_behavior(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::Cache {
+            sets: self.sets,
+            ways: self.ways,
+            line_elems: self.line_elems,
+            hit_cycles: self.hit_cycles,
+            miss_cycles: self.miss_cycles,
+            tags: self.tags.clone(),
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 }
 
@@ -492,6 +627,18 @@ impl Connection {
             write_free: 0,
             transfers: vec![],
         }
+    }
+
+    /// The next-free times of the read and write channels (snapshot
+    /// capture).
+    pub(crate) fn channel_state(&self) -> (u64, u64) {
+        (self.read_free, self.write_free)
+    }
+
+    /// Restores the channel schedule (snapshot resume).
+    pub(crate) fn restore_channels(&mut self, read_free: u64, write_free: u64) {
+        self.read_free = read_free;
+        self.write_free = write_free;
     }
 
     /// Cycles needed to move `bytes` (0 when unlimited).

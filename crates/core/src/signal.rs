@@ -8,9 +8,10 @@
 
 use crate::value::{SignalId, SimValue};
 
-/// State of one signal.
+/// State of one signal. `pub(crate)` so the snapshot codec can serialise
+/// and restore the table verbatim.
 #[derive(Debug, Clone)]
-enum SignalState {
+pub(crate) enum SignalState {
     /// Not yet fired; combinator bookkeeping lives alongside.
     Pending {
         /// For `control_and`: outstanding dependency count.
@@ -24,7 +25,12 @@ enum SignalState {
         dependents: Vec<SignalId>,
     },
     /// Fired at `time` with `payload`.
-    Resolved { time: u64, payload: Vec<SimValue> },
+    Resolved {
+        /// Resolution timestamp.
+        time: u64,
+        /// Values passed to `equeue.return` (empty for most signals).
+        payload: Vec<SimValue>,
+    },
 }
 
 /// The signal table: allocation, combinators, and resolution.
@@ -44,8 +50,10 @@ enum SignalState {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SignalTable {
-    signals: Vec<SignalState>,
-    /// Signals resolved by the most recent `resolve` cascade.
+    pub(crate) signals: Vec<SignalState>,
+    /// Signals resolved by the most recent `resolve` cascade. Transient
+    /// scratch: empty between `resolve` calls, so snapshots need not
+    /// capture it.
     just_resolved: Vec<SignalId>,
 }
 
@@ -53,6 +61,16 @@ impl SignalTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a table from deserialised states (snapshot restore). The
+    /// transient `just_resolved` scratch starts empty, matching the
+    /// between-events state a snapshot is taken in.
+    pub(crate) fn from_states(signals: Vec<SignalState>) -> Self {
+        SignalTable {
+            signals,
+            just_resolved: Vec::new(),
+        }
     }
 
     /// Allocates a fresh unresolved signal (for launches/memcpys).
@@ -199,7 +217,9 @@ impl SignalTable {
                     if *any_mode {
                         Some(time)
                     } else {
-                        *remaining -= 1;
+                        // Saturating: a well-formed table never underflows,
+                        // but a restored snapshot is external input.
+                        *remaining = remaining.saturating_sub(1);
                         *time_acc = (*time_acc).max(time);
                         if *remaining == 0 {
                             Some(*time_acc)

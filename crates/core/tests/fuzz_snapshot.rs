@@ -1,0 +1,260 @@
+//! Snapshot-corpus fuzzing: mutated and truncated snapshot byte streams
+//! must never panic anywhere in `decode → resume`. Every failure has to
+//! surface as a typed [`SimError::Snapshot`].
+//!
+//! The fuzzer is dependency-free: a xorshift64* PRNG drives byte-level
+//! mutations of real encoded snapshots captured from small programs. The
+//! wire format carries a trailing checksum, so almost every mutation must
+//! be rejected at decode; the rare survivor (a no-op mutation) must still
+//! resume cleanly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use equeue_core::{CompiledModule, SimError, SimLibrary, SimOptions, SimReport, Snapshot};
+use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, EqueueBuilder};
+use equeue_ir::{Module, OpBuilder, Type};
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A compute-only program: one MAC unit stepping through `mac` ext-ops.
+fn mac_chain(n: usize) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pe = b.create_proc(kinds::MAC);
+    let start = b.control_start();
+    let l = b.launch(start, pe, &[], vec![]);
+    {
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        for _ in 0..n {
+            ib.ext_op("mac", vec![], vec![]);
+        }
+        ib.ret(vec![]);
+    }
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+    m
+}
+
+/// A memory-touching program: an affine loop doubling a register buffer
+/// in place (frames, loop state, and tensors all land in the snapshot).
+fn affine_double(n: usize) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pe = b.create_proc(kinds::ARM_R5);
+    let mem = b.create_mem(kinds::SRAM, &[n], 32, 1);
+    let buf = b.alloc(mem, &[n], Type::I32);
+    let start = b.control_start();
+    let l = b.launch(start, pe, &[buf], vec![]);
+    {
+        let v = l.body_args[0];
+        let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+        let (_, bi, i) = ib.affine_for(0, n as i64, 1);
+        {
+            let mut lb = OpBuilder::at_end(ib.module_mut(), bi);
+            let x = lb.affine_load(v, vec![i]);
+            let y = lb.addi(x, x);
+            lb.affine_store(y, v, vec![i]);
+            lb.affine_yield();
+        }
+        let mut ib = OpBuilder::at_end(&mut m, l.body);
+        ib.ret(vec![]);
+    }
+    let done = l.done;
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    b.await_all(vec![done]);
+    m
+}
+
+/// Captures a mid-run snapshot of `module` and returns the compiled
+/// handle plus the snapshot's canonical encoding.
+fn seed(module: Module, cut: u64) -> (CompiledModule, Vec<u8>) {
+    let compiled =
+        CompiledModule::compile(module, SimLibrary::standard()).expect("corpus module compiles");
+    let snap = compiled
+        .snapshot(&SimOptions {
+            trace: false,
+            snapshot_at: Some(cut),
+            ..Default::default()
+        })
+        .expect("corpus snapshot captures");
+    let bytes = snap.encode();
+    (compiled, bytes)
+}
+
+/// One random mutation of an encoded snapshot: truncation, bit flips,
+/// overwrites, splices, and region zeroing — hostile input for every
+/// layer of the decoder (header, sections, checksum).
+fn mutate(rng: &mut Rng, base: &[u8]) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    match rng.below(6) {
+        // Truncate at a random byte (including 0 and full length).
+        0 => {
+            let at = rng.below(bytes.len() + 1);
+            bytes.truncate(at);
+        }
+        // Flip a random bit.
+        1 => {
+            if !bytes.is_empty() {
+                let at = rng.below(bytes.len());
+                bytes[at] ^= 1 << rng.below(8);
+            }
+        }
+        // Overwrite a random byte (length-prefix and tag corruption).
+        2 => {
+            if !bytes.is_empty() {
+                let at = rng.below(bytes.len());
+                bytes[at] = rng.next() as u8;
+            }
+        }
+        // Splice a burst of random bytes in place.
+        3 => {
+            let at = rng.below(bytes.len() + 1);
+            let burst: Vec<u8> = (0..1 + rng.below(16)).map(|_| rng.next() as u8).collect();
+            bytes.splice(at..at, burst);
+        }
+        // Zero a region (huge-length and null-tag paths).
+        4 => {
+            if !bytes.is_empty() {
+                let at = rng.below(bytes.len());
+                let end = (at + 1 + rng.below(32)).min(bytes.len());
+                bytes[at..end].fill(0);
+            }
+        }
+        // Saturate a region with 0xFF (max-length allocation guards).
+        _ => {
+            if !bytes.is_empty() {
+                let at = rng.below(bytes.len());
+                let end = (at + 1 + rng.below(32)).min(bytes.len());
+                bytes[at..end].fill(0xFF);
+            }
+        }
+    }
+    bytes
+}
+
+/// Runs one hostile byte stream through `decode → resume`. Returns an
+/// error string when the case panicked or produced an untyped failure.
+fn drive(compiled: &CompiledModule, bytes: &[u8]) -> Result<DecodeOutcome, String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let opts = SimOptions {
+            trace: false,
+            ..Default::default()
+        };
+        match Snapshot::decode(bytes) {
+            Ok(snap) => DecodeStep::Decoded(compiled.resume(&snap, &opts)),
+            Err(e) => DecodeStep::Rejected(e),
+        }
+    }));
+    match outcome {
+        Err(_) => Err("panicked".into()),
+        Ok(DecodeStep::Rejected(SimError::Snapshot(_))) => Ok(DecodeOutcome::RejectedTyped),
+        Ok(DecodeStep::Rejected(e)) => Err(format!("decode failed with non-Snapshot error: {e}")),
+        Ok(DecodeStep::Decoded(Ok(_))) => Ok(DecodeOutcome::Resumed),
+        Ok(DecodeStep::Decoded(Err(SimError::Snapshot(_)))) => Ok(DecodeOutcome::RejectedTyped),
+        Ok(DecodeStep::Decoded(Err(e))) => {
+            Err(format!("resume failed with non-Snapshot error: {e}"))
+        }
+    }
+}
+
+enum DecodeStep {
+    Decoded(Result<SimReport, SimError>),
+    Rejected(SimError),
+}
+
+enum DecodeOutcome {
+    RejectedTyped,
+    Resumed,
+}
+
+/// Feeds ≥1k mutated snapshot streams through `decode → resume`. A panic
+/// anywhere, or any failure that is not [`SimError::Snapshot`], fails the
+/// test with the offending case number so it can be replayed.
+#[test]
+fn mutated_snapshots_never_panic() {
+    let corpus = [seed(mac_chain(16), 5), seed(affine_double(8), 7)];
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut rejected = 0usize;
+    let mut resumed = 0usize;
+    for case in 0..1200 {
+        let (compiled, base) = &corpus[rng.below(corpus.len())];
+        // Stack 1–3 mutations so errors compound.
+        let mut bytes = mutate(&mut rng, base);
+        for _ in 0..rng.below(3) {
+            bytes = mutate(&mut rng, &bytes);
+        }
+        match drive(compiled, &bytes) {
+            Ok(DecodeOutcome::RejectedTyped) => rejected += 1,
+            Ok(DecodeOutcome::Resumed) => resumed += 1,
+            Err(why) => panic!("fuzz case {case}: {why} ({} bytes)", bytes.len()),
+        }
+    }
+    // The checksum makes typed rejection the overwhelmingly common path;
+    // the occasional no-op mutation resumes fine. Both must appear, or
+    // the harness isn't exercising what it claims.
+    assert!(rejected > 1000, "only {rejected} cases rejected");
+    // `truncate(len)` and re-zeroing zero bytes leave the stream intact.
+    assert!(resumed > 0, "no mutated stream survived to resume");
+}
+
+/// Pure truncation sweep: every prefix of a real snapshot must decode or
+/// fail with a typed error. Catches end-of-input handling in the reader.
+#[test]
+fn truncated_snapshots_never_panic() {
+    let (compiled, bytes) = seed(affine_double(8), 3);
+    for at in 0..bytes.len() {
+        if let Err(why) = drive(&compiled, &bytes[..at]) {
+            panic!("snapshot truncated at byte {at}: {why}");
+        }
+    }
+    // The untruncated stream is valid and resumes.
+    assert!(matches!(
+        drive(&compiled, &bytes),
+        Ok(DecodeOutcome::Resumed)
+    ));
+}
+
+/// Decoding a valid snapshot against the *wrong* module must be a typed
+/// rejection at resume (the fingerprint check), never a panic.
+#[test]
+fn resume_against_wrong_module_is_typed() {
+    let (_, bytes) = seed(mac_chain(16), 5);
+    let other = CompiledModule::compile(affine_double(8), SimLibrary::standard())
+        .expect("corpus module compiles");
+    let snap = Snapshot::decode(&bytes).expect("valid stream decodes");
+    match other.resume(
+        &snap,
+        &SimOptions {
+            trace: false,
+            ..Default::default()
+        },
+    ) {
+        Err(SimError::Snapshot(msg)) => {
+            assert!(
+                msg.contains("fingerprint") || msg.contains("module"),
+                "unhelpful mismatch message: {msg}"
+            );
+        }
+        Err(e) => panic!("wrong-module resume failed with non-Snapshot error: {e}"),
+        Ok(_) => panic!("wrong-module resume succeeded"),
+    }
+}

@@ -320,6 +320,90 @@ fn wall_deadline_fires_inside_fused_trace() {
 }
 
 #[test]
+fn resume_restarts_wall_deadline() {
+    // The wall clock is host time, not simulated state: a snapshot held on
+    // disk for an hour must not have "used up" its deadline. Capture a
+    // checkpoint, let real time pass beyond the deadline, then resume — the
+    // deadline budget restarts at resume, so the run completes. (The old
+    // behaviour double-counted pre-snapshot wall time, which this sleep
+    // would trip.)
+    use equeue_core::{CompiledModule, SimLibrary};
+    let compiled = CompiledModule::compile(fused_loop(256), SimLibrary::standard()).unwrap();
+    let snap = compiled
+        .snapshot(&SimOptions {
+            snapshot_at: Some(10),
+            ..options(RunLimits::unlimited(), None)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let report = compiled
+        .resume(
+            &snap,
+            &options(
+                RunLimits {
+                    wall_deadline: Some(Duration::from_millis(250)),
+                    ..RunLimits::unlimited()
+                },
+                None,
+            ),
+        )
+        .unwrap();
+    assert!(report.cycles > 10);
+}
+
+#[test]
+fn resume_continues_cycle_and_event_budgets() {
+    // Unlike the wall clock, cycle/event budgets are *simulated* state:
+    // they meter the whole logical run, so a resumed window inherits the
+    // snapshot's counters. Resuming under a budget the full run would blow
+    // must fail exactly like the uninterrupted limited run — same error,
+    // same progress payload (bit identity extends to errors).
+    use equeue_core::{simulate, CompiledModule, SimLibrary};
+    let full = simulate(&fused_loop(4096)).unwrap();
+    let compiled = CompiledModule::compile(fused_loop(4096), SimLibrary::standard()).unwrap();
+    for (limits, kind) in [
+        (
+            RunLimits {
+                max_cycles: full.cycles / 2,
+                ..RunLimits::default()
+            },
+            LimitKind::Cycles,
+        ),
+        (
+            RunLimits {
+                max_events: full.events_processed / 2,
+                ..RunLimits::default()
+            },
+            LimitKind::Events,
+        ),
+    ] {
+        let uninterrupted = compiled.simulate(&options(limits, None)).unwrap_err();
+        // Cut well before the budget trips, so the limited portion replays
+        // inside the resumed window.
+        let snap = compiled
+            .snapshot(&SimOptions {
+                snapshot_at: Some(10),
+                ..options(RunLimits::unlimited(), None)
+            })
+            .unwrap();
+        let resumed = compiled.resume(&snap, &options(limits, None)).unwrap_err();
+        let SimError::Limit(l) = &resumed else {
+            panic!("expected Limit, got {resumed}");
+        };
+        assert_eq!(l.kind, kind);
+        assert_eq!(uninterrupted, resumed, "{kind:?}");
+        // And a budget sized for the whole run still completes on resume.
+        let generous = RunLimits {
+            max_cycles: full.cycles + 1,
+            max_events: full.events_processed + 1,
+            ..RunLimits::default()
+        };
+        let report = compiled.resume(&snap, &options(generous, None)).unwrap();
+        assert_eq!(report.cycles, full.cycles);
+    }
+}
+
+#[test]
 fn limits_do_not_affect_short_runs() {
     // A run comfortably inside every budget completes normally.
     let m = long_ext_op(64);

@@ -14,7 +14,9 @@
 //! runtime/static differential suite — one list, so static claims are
 //! always validated against the same modules that run.
 
-use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, ConvDims, EqueueBuilder, LinalgBuilder};
+use equeue_dialect::{
+    kinds, AffineBuilder, ArithBuilder, ConnKind, ConvDims, EqueueBuilder, LinalgBuilder,
+};
 use equeue_ir::{Module, OpBuilder, Type};
 use equeue_passes::Dataflow;
 
@@ -117,6 +119,127 @@ pub fn tensor_stream(n: usize, k: usize) -> Module {
     m
 }
 
+/// A conv2d partitioned across a row of MAC PEs, one output channel per
+/// PE, with DRAM→Cache DMA staging over a shared streaming connection.
+/// Exercises the Cache memory model (LRU tag state), DMA transfer
+/// accounting, and a multi-processor launch fan-out — the machine-state
+/// surfaces the snapshot format must round-trip.
+pub fn conv2d_systolic(hw: usize, f: usize, c: usize, n: usize) -> Module {
+    let dims = ConvDims::square(hw, f, c, n);
+    let (eh, ew) = (dims.eh(), dims.ew());
+    let if_elems = c * hw * hw;
+    let w_elems = n * c * f * f;
+    let of_elems = n * eh * ew;
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let pes: Vec<_> = (0..n).map(|_| b.create_proc(kinds::MAC)).collect();
+    let dram = b.create_mem(kinds::DRAM, &[if_elems + w_elems], 32, 1);
+    // On-chip working set: staged ifmap plus the per-PE weight and output
+    // slices carved out below.
+    let cache = b.create_mem(kinds::CACHE, &[if_elems + w_elems + of_elems], 32, 4);
+    let dma = b.create_dma();
+    let conn = b.create_connection(ConnKind::Streaming, 16);
+    let dram_if = b.alloc(dram, &[c, hw, hw], Type::I32);
+    let if_c = b.alloc(cache, &[c, hw, hw], Type::I32);
+    let start = b.control_start();
+    // Stage the shared ifmap on-chip before any PE starts.
+    let cp_if = b.memcpy(start, dram_if, if_c, dma, Some(conn));
+    let mut dones = Vec::with_capacity(n);
+    for pe in pes {
+        // Per-PE single-channel weight slice, staged from DRAM; per-PE
+        // single-channel output slice.
+        let dram_w = b.alloc(dram, &[1, c, f, f], Type::I32);
+        let w_pe = b.alloc(cache, &[1, c, f, f], Type::I32);
+        let of_pe = b.alloc(cache, &[1, eh, ew], Type::I32);
+        let cp = b.memcpy(cp_if, dram_w, w_pe, dma, Some(conn));
+        let l = b.launch(cp, pe, &[if_c, w_pe, of_pe], vec![]);
+        {
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            ib.linalg_conv2d(l.body_args[0], l.body_args[1], l.body_args[2]);
+            ib.ret(vec![]);
+        }
+        dones.push(l.done);
+        b = OpBuilder::at_end(&mut m, blk);
+    }
+    b.await_all(dones);
+    m
+}
+
+/// Several independent tenants time-sharing one machine: each tenant owns
+/// a processor and an SRAM working set and runs a `k`-deep launch chain,
+/// with every hop also bouncing its buffer through a shared
+/// bandwidth-limited connection via a shared DMA. Tenants interleave in
+/// the event heap and contend on the connection's channel reservations —
+/// the in-flight state the snapshot format must capture mid-run.
+pub fn multi_tenant_trace(tenants: usize, n: usize, k: usize) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let dma = b.create_dma();
+    let conn = b.create_connection(ConnKind::Streaming, 8);
+    let mut dones = Vec::with_capacity(tenants);
+    for _ in 0..tenants {
+        let pe = b.create_proc(kinds::ARM_R5);
+        let mem = b.create_mem(kinds::SRAM, &[2 * n * n], 32, 2);
+        let src = b.alloc(mem, &[n, n], Type::I32);
+        let dst = b.alloc(mem, &[n, n], Type::I32);
+        let mut dep = b.control_start();
+        for hop in 0..k {
+            let (from, to) = if hop % 2 == 0 { (src, dst) } else { (dst, src) };
+            let moved = b.memcpy(dep, from, to, dma, Some(conn));
+            let l = b.launch(moved, pe, &[to], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                let t = ib.read(l.body_args[0], None);
+                ib.write_indexed(t, l.body_args[0], vec![], None);
+                ib.ret(vec![]);
+            }
+            dep = l.done;
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        dones.push(dep);
+    }
+    b.await_all(dones);
+    m
+}
+
+/// A `rows×cols` grid of processors, each launched once with a small
+/// affine accumulation loop over its own register slice. Stresses the
+/// event heap, sequence numbering, and per-processor runtime count — the
+/// "many small frames" shape of the snapshot encoding.
+pub fn mega_grid(rows: usize, cols: usize, iters: usize) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let mem = b.create_mem(kinds::REGISTER, &[rows * cols * iters], 32, 1);
+    let start = b.control_start();
+    let mut dones = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        let pe = b.create_proc(kinds::MAC);
+        let buf = b.alloc(mem, &[iters], Type::I32);
+        let l = b.launch(start, pe, &[buf], vec![]);
+        {
+            let v = l.body_args[0];
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            let (_, bi, i) = ib.affine_for(0, iters as i64, 1);
+            {
+                let mut lb = OpBuilder::at_end(ib.module_mut(), bi);
+                let x = lb.affine_load(v, vec![i]);
+                let y = lb.addi(x, x);
+                lb.affine_store(y, v, vec![i]);
+                lb.affine_yield();
+            }
+            let mut ib = OpBuilder::at_end(&mut m, l.body);
+            ib.ret(vec![]);
+        }
+        dones.push(l.done);
+        b = OpBuilder::at_end(&mut m, blk);
+    }
+    b.await_all(dones);
+    m
+}
+
 /// One named golden scenario.
 pub struct GoldenScenario {
     /// Stable scenario name (`"fig09_4x4_ws_8x8"`). Sorted-unique across
@@ -208,6 +331,20 @@ pub fn golden_scenarios() -> Vec<GoldenScenario> {
     out.push(GoldenScenario {
         name: "tensor_stream_64x8",
         module: tensor_stream(64, 8),
+    });
+    // Scenario-diversity sweep: cache + DMA staging, tenant interleaving,
+    // and a wide processor grid.
+    out.push(GoldenScenario {
+        name: "conv2d_systolic_8x3",
+        module: conv2d_systolic(8, 3, 2, 4),
+    });
+    out.push(GoldenScenario {
+        name: "multi_tenant_4x16x6",
+        module: multi_tenant_trace(4, 16, 6),
+    });
+    out.push(GoldenScenario {
+        name: "mega_grid_8x8",
+        module: mega_grid(8, 8, 4),
     });
     out
 }

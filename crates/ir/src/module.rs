@@ -36,6 +36,14 @@ impl OpId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The inverse of [`index`](OpId::index): rebuilds an id from a dense
+    /// arena index, for clients deserialising side-table references.
+    /// Performs no bounds check — callers must validate against
+    /// [`Module::num_ops`] before dereferencing.
+    pub fn from_index(index: usize) -> Self {
+        OpId(index as u32)
+    }
 }
 
 impl ValueId {
@@ -49,6 +57,14 @@ impl BlockId {
     /// The block's dense arena index (stable for the module's lifetime).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The inverse of [`index`](BlockId::index): rebuilds an id from a
+    /// dense arena index, for clients deserialising side-table references.
+    /// Performs no bounds check — callers must validate against
+    /// [`Module::num_blocks`] before dereferencing.
+    pub fn from_index(index: usize) -> Self {
+        BlockId(index as u32)
     }
 }
 
