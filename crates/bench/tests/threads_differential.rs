@@ -1,0 +1,181 @@
+//! Thread-count determinism suite for the group-sharded parallel engine.
+//!
+//! The engine's contract is *bit identity across thread counts*: for any
+//! program, a run with [`SimOptions::threads`] = N must report exactly the
+//! same simulated state as the sequential run — cycles, scheduler wakes,
+//! interpreted-op counts, spawned events, final buffer contents, memory
+//! traffic, connection bandwidth — for every N and under both backends.
+//! Threads only change wall-clock time (and the `shard_offloads`
+//! observability counter). The suite enforces the contract over:
+//!
+//! 1. every golden benchmark scenario × threads ∈ {1, 2, 4, 8} × both
+//!    backends;
+//! 2. runs under custom [`RunLimits`] (which force the sequential path):
+//!    the limit-error payloads must compare equal at any thread count;
+//! 3. pre-cancelled runs via [`CancelToken`] (same forcing);
+//! 4. the multi-group `shard_grid` scenario, which must *actually
+//!    offload* at `threads: 2` (guarding against the gates silently
+//!    rejecting everything, which would make 1–3 vacuous).
+
+use equeue_bench::scenarios;
+use equeue_core::{
+    simulate_with, Backend, CancelToken, CompiledModule, RunLimits, SimError, SimLibrary,
+    SimOptions, SimReport,
+};
+use equeue_ir::Module;
+
+const THREAD_COUNTS: &[usize] = &[2, 4, 8];
+
+fn options(backend: Backend, threads: usize) -> SimOptions {
+    SimOptions {
+        trace: false,
+        backend,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Asserts every deterministic field of the two reports matches.
+/// `shard_offloads` is deliberately excluded: it is observability (how
+/// often speculation started), not simulated state, and may vary with
+/// wall-clock timing.
+fn assert_reports_identical(name: &str, seq: &SimReport, par: &SimReport) {
+    assert_eq!(seq.cycles, par.cycles, "{name}: cycles");
+    assert_eq!(seq.events_processed, par.events_processed, "{name}: events");
+    assert_eq!(seq.events_spawned, par.events_spawned, "{name}: spawned");
+    assert_eq!(seq.ops_interpreted, par.ops_interpreted, "{name}: ops");
+    assert_eq!(
+        seq.peak_live_tensor_bytes, par.peak_live_tensor_bytes,
+        "{name}: peak live bytes"
+    );
+    assert_eq!(seq.buffers, par.buffers, "{name}: buffer contents");
+    assert_eq!(seq.memories, par.memories, "{name}: memory traffic");
+    assert_eq!(
+        seq.connections, par.connections,
+        "{name}: connection bandwidth"
+    );
+}
+
+fn differential(name: &str, module: &Module, backend: Backend) {
+    let lib = SimLibrary::standard();
+    let seq = simulate_with(module, &lib, &options(backend, 1))
+        .unwrap_or_else(|e| panic!("{name} (threads 1, {backend:?}): {e}"));
+    for &threads in THREAD_COUNTS {
+        let par = simulate_with(module, &lib, &options(backend, threads))
+            .unwrap_or_else(|e| panic!("{name} (threads {threads}, {backend:?}): {e}"));
+        assert_reports_identical(&format!("{name} @{threads} {backend:?}"), &seq, &par);
+    }
+}
+
+#[test]
+fn golden_scenarios_are_bit_identical_across_thread_counts_interp() {
+    for s in scenarios::golden_scenarios() {
+        differential(s.name, &s.module, Backend::Interp);
+    }
+}
+
+#[test]
+fn golden_scenarios_are_bit_identical_across_thread_counts_fused() {
+    // `fused_trace_entries` is intentionally not compared: a shard starts
+    // with a fresh fused skip-set, so the *attempt* count may differ while
+    // every simulated counter stays identical (see docs/parallel-engine.md).
+    for s in scenarios::golden_scenarios() {
+        differential(s.name, &s.module, Backend::Fused);
+    }
+}
+
+/// The multi-group scenario must actually exercise the offload path —
+/// otherwise every identity above is vacuously "sequential == sequential".
+#[test]
+fn shard_grid_actually_offloads_at_threads_2() {
+    let module = scenarios::shard_grid(4, 4, 4);
+    let compiled = CompiledModule::compile(module, SimLibrary::standard()).expect("compile");
+    // Static precondition: every PE+memory pair is its own group and every
+    // launch is shard-pure.
+    let part = compiled.partition();
+    assert!(!part.degraded(), "partition degraded");
+    assert!(
+        part.groups().len() > 16,
+        "expected >16 groups, got {}",
+        part.groups().len()
+    );
+    assert_eq!(part.pure_launch_count(), 16, "pure launches");
+    // Runtime: the first eligible launch offloads before any timing noise
+    // can influence the gates, so at least one offload is deterministic.
+    let report = compiled
+        .simulate(&options(Backend::Fused, 2))
+        .expect("threads-2 run");
+    assert!(
+        report.shard_offloads > 0,
+        "threads-2 run never offloaded a shard"
+    );
+    let seq = compiled
+        .simulate(&options(Backend::Fused, 1))
+        .expect("threads-1 run");
+    assert_eq!(seq.shard_offloads, 0, "sequential run must not offload");
+    assert_reports_identical("shard_grid", &seq, &report);
+}
+
+/// Custom limits force the sequential path (`par_eligible`), so a limit
+/// error must carry an identical progress payload at any thread count.
+#[test]
+fn limit_errors_are_identical_across_thread_counts() {
+    let module = scenarios::shard_grid(4, 4, 64);
+    let lib = SimLibrary::standard();
+    let limited = |threads: usize| SimOptions {
+        trace: false,
+        limits: RunLimits {
+            max_events: 8,
+            ..Default::default()
+        },
+        backend: Backend::Fused,
+        threads,
+        ..Default::default()
+    };
+    let baseline = simulate_with(&module, &lib, &limited(1));
+    let Err(SimError::Limit(base)) = baseline else {
+        panic!("expected a limit error, got {baseline:?}");
+    };
+    for &threads in THREAD_COUNTS {
+        let r = simulate_with(&module, &lib, &limited(threads));
+        let Err(SimError::Limit(l)) = r else {
+            panic!("threads {threads}: expected a limit error, got {r:?}");
+        };
+        assert_eq!(base.kind, l.kind, "threads {threads}: limit kind");
+        assert_eq!(base.limit, l.limit, "threads {threads}: limit value");
+        assert_eq!(
+            base.progress, l.progress,
+            "threads {threads}: progress payload"
+        );
+    }
+}
+
+/// A pre-cancelled token also forces the sequential path; the cancellation
+/// error's progress payload must be thread-count independent.
+#[test]
+fn cancelled_runs_are_identical_across_thread_counts() {
+    let module = scenarios::shard_grid(2, 2, 4);
+    let lib = SimLibrary::standard();
+    let cancelled = |threads: usize| {
+        let token = CancelToken::new();
+        token.cancel();
+        SimOptions {
+            trace: false,
+            cancel: Some(token),
+            backend: Backend::Fused,
+            threads,
+            ..Default::default()
+        }
+    };
+    let base = simulate_with(&module, &lib, &cancelled(1));
+    let Err(SimError::Cancelled(base)) = base else {
+        panic!("expected cancellation, got {base:?}");
+    };
+    for &threads in THREAD_COUNTS {
+        let r = simulate_with(&module, &lib, &cancelled(threads));
+        let Err(SimError::Cancelled(p)) = r else {
+            panic!("threads {threads}: expected cancellation, got {r:?}");
+        };
+        assert_eq!(base, p, "threads {threads}: progress payload");
+    }
+}

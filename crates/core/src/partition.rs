@@ -1,0 +1,769 @@
+//! Compile-time conflict partition for the group-sharded engine.
+//!
+//! Mirrors `equeue-analysis`'s `ConflictPass` inside the engine crate (core
+//! cannot depend on the analysis crate — the dependency points the other
+//! way), so `Plan::build` can bake the independent-group partition into
+//! every compiled module. Nodes are the implicit host (index 0) plus every
+//! `create_proc`/`create_dma` op in op order; two nodes conflict when their
+//! statically-resolved resource footprints (memories, connections, host
+//! memory) intersect; the connected components of the conflict relation are
+//! the *independent groups* the sharded runtime may step concurrently.
+//!
+//! The mirror must stay bit-identical to `ConflictPass` — the analysis
+//! crate's differential test compares the two group-by-group — so the
+//! resolution rules below (capture-chasing `resolve_def`, the conservative
+//! opaque/unresolved degradations, union-find ordering) are copied from it
+//! verbatim rather than improved.
+//!
+//! On top of the partition this module computes a *shard-purity* verdict
+//! per launch site: a launch is pure when everything a shard would execute
+//! on its behalf provably stays inside the launch target's group — nested
+//! launches and memcpys target group members, linalg kernels hit
+//! group-owned memories, and the body never allocates, deallocates, or
+//! elaborates the machine (those assign global buffer/component ids whose
+//! order a shard would permute). Pure launches are the only ones the
+//! parallel runtime offloads; everything else runs on the sequential path
+//! unchanged.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use equeue_dialect::{launch_view, memcpy_view, read_view, write_view};
+use equeue_ir::{BlockId, Module, OpId, ValueDef, ValueId};
+
+use crate::engine::{OpCode, OpInfo};
+
+/// Depth cap for recursive walks, mirroring the analysis crate: malformed
+/// IR may contain region/capture chains the arena invariants no longer
+/// bound.
+const MAX_DEPTH: usize = 128;
+
+/// A statically-identified shared resource (mirror of `ConflictPass`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Res {
+    /// A device memory (`create_mem` op index).
+    Mem(usize),
+    /// A connection (`create_connection` op index).
+    Conn(usize),
+    /// The host's implicit memory (`memref.alloc` buffers).
+    HostMem,
+}
+
+/// Where a buffer value ultimately lives (mirror of the analysis crate's
+/// `BufferOrigin`).
+enum BufOrigin {
+    /// Allocated in the memory created by this `create_mem` op.
+    Mem(OpId),
+    /// Host memory (`memref.alloc`).
+    Host,
+    /// Not statically resolvable.
+    Unknown,
+}
+
+/// The independent-group partition of a compiled module, with the purity
+/// verdicts the sharded runtime consumes.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// Connected components of the conflict relation: each group sorted,
+    /// groups sorted by first member (host's group is the one containing
+    /// node 0). Identical to `ConflictPass`'s `groups`.
+    groups: Vec<Vec<usize>>,
+    /// Group id of each node.
+    group_of_node: Vec<u32>,
+    /// `create_proc`/`create_dma` op index → node index.
+    node_of_create_op: HashMap<usize, usize>,
+    /// `create_mem` op index → group of the nodes that touch it (absent
+    /// when nothing statically touches the memory).
+    group_of_mem_op: HashMap<usize, u32>,
+    /// `create_connection` op index → group of its touchers.
+    group_of_conn_op: HashMap<usize, u32>,
+    /// Launch op index → target group, for shard-pure launches only.
+    pure_launch: HashMap<usize, u32>,
+    /// Whether any node footprint failed to resolve (every node conflicts
+    /// with every other: the whole module is one group).
+    degraded: bool,
+}
+
+impl Partition {
+    /// The independent groups, in `ConflictPass` order: node 0 is the
+    /// host, nodes 1.. are `create_proc`/`create_dma` ops in op order.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of conflict-graph nodes (host + processors + DMAs).
+    pub fn num_nodes(&self) -> usize {
+        self.group_of_node.len()
+    }
+
+    /// The group containing the implicit host node.
+    pub fn host_group(&self) -> u32 {
+        self.group_of_node.first().copied().unwrap_or(0)
+    }
+
+    /// Whether conservative degradation collapsed everything into a single
+    /// group (unresolvable launch target or memcpy DMA).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Group of the processor/DMA created by the op at `op_idx`.
+    pub(crate) fn group_of_create_op(&self, op_idx: usize) -> Option<u32> {
+        self.node_of_create_op
+            .get(&op_idx)
+            .map(|&n| self.group_of_node[n])
+    }
+
+    /// Group of the memory created by the op at `op_idx`, when statically
+    /// touched by exactly one group.
+    pub(crate) fn group_of_mem_op(&self, op_idx: usize) -> Option<u32> {
+        self.group_of_mem_op.get(&op_idx).copied()
+    }
+
+    /// Group of the connection created by the op at `op_idx`.
+    pub(crate) fn group_of_conn_op(&self, op_idx: usize) -> Option<u32> {
+        self.group_of_conn_op.get(&op_idx).copied()
+    }
+
+    /// The target group of a shard-pure launch site, or `None` when the
+    /// launch (or anything it transitively runs) may escape its group.
+    pub(crate) fn pure_launch(&self, op_idx: usize) -> Option<u32> {
+        self.pure_launch.get(&op_idx).copied()
+    }
+
+    /// Number of shard-pure launch sites (diagnostics/tests).
+    pub fn pure_launch_count(&self) -> usize {
+        self.pure_launch.len()
+    }
+
+    /// The shard-pure launch sites as `(launch op index, target group)`,
+    /// sorted by op index — a deterministic listing for diagnostics (the
+    /// backing map iterates in hash order).
+    pub fn pure_launches(&self) -> Vec<(usize, u32)> {
+        let mut v: Vec<_> = self.pure_launch.iter().map(|(&op, &g)| (op, g)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Builds the partition for a module whose ops were decoded into
+    /// `ops` (the `Plan`'s side table — node enumeration must match the
+    /// prepass facts, which are decode-based).
+    pub(crate) fn build(module: &Module, ops: &[OpInfo]) -> Partition {
+        // Node enumeration: host first, then create_proc/create_dma in op
+        // order — exactly `PrepassFacts::procs` over `live_ops()`.
+        let mut node_of_proc = HashMap::new();
+        let mut n = 1usize;
+        for op in module.live_ops() {
+            let i = op.index();
+            let Some(info) = ops.get(i) else { continue };
+            if matches!(info.code, OpCode::CreateProc { .. } | OpCode::CreateDma) {
+                node_of_proc.insert(i, n);
+                n += 1;
+            }
+        }
+
+        let mut b = Builder {
+            module,
+            footprints: vec![BTreeSet::new(); n],
+            opaque: vec![false; n],
+            node_of_proc,
+            unresolved: false,
+            purity: Vec::new(),
+            stack: Vec::new(),
+            silent_mem_uses: Vec::new(),
+            silent_unresolved: false,
+        };
+        b.visit_block(module.top_block(), 0, 0);
+
+        // An unattributable event could touch anything: every node becomes
+        // opaque, collapsing the graph into one group.
+        if b.unresolved {
+            for o in &mut b.opaque {
+                *o = true;
+            }
+        }
+
+        // Union-find over the (implicit) conflict edges.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for a in 0..n {
+            for c in a + 1..n {
+                let conflict = b.opaque[a]
+                    || b.opaque[c]
+                    || b.footprints[a]
+                        .intersection(&b.footprints[c])
+                        .next()
+                        .is_some();
+                if conflict {
+                    let (ra, rc) = (find(&mut parent, a), find(&mut parent, c));
+                    if ra != rc {
+                        parent[ra.max(rc)] = ra.min(rc);
+                    }
+                }
+            }
+        }
+        let mut groups_map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups_map.entry(r).or_default().push(i);
+        }
+        let groups: Vec<Vec<usize>> = groups_map.into_values().collect();
+        let mut group_of_node = vec![0u32; n];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                group_of_node[m] = g as u32;
+            }
+        }
+
+        // Resource → group maps, and whether each group touches host
+        // memory or contains an opaque node.
+        let mut group_of_mem_op = HashMap::new();
+        let mut group_of_conn_op = HashMap::new();
+        let mut group_touches_host = vec![false; groups.len()];
+        let mut group_opaque = vec![false; groups.len()];
+        for (node, &g) in group_of_node.iter().enumerate() {
+            if b.opaque[node] {
+                group_opaque[g as usize] = true;
+            }
+            for res in &b.footprints[node] {
+                match res {
+                    Res::Mem(m) => {
+                        group_of_mem_op.insert(*m, g);
+                    }
+                    Res::Conn(c) => {
+                        group_of_conn_op.insert(*c, g);
+                    }
+                    Res::HostMem => group_touches_host[g as usize] = true,
+                }
+            }
+        }
+
+        // Cross-group invasion: a group whose memory is mutated without a
+        // footprint (linalg, dealloc) by a node *outside* the group can be
+        // reached by the sequential path while a shard of the group is
+        // speculating — and those mutations cannot be replayed exactly, so
+        // the whole group is excluded from offloading.
+        let mut invaded = vec![false; groups.len()];
+        for &(m, node) in &b.silent_mem_uses {
+            if let Some(&gm) = group_of_mem_op.get(&m) {
+                if group_of_node.get(node) != Some(&gm) {
+                    invaded[gm as usize] = true;
+                }
+            }
+        }
+
+        // Purity verdicts: everything the shard would run must provably
+        // stay inside the launch target's group, and that group must be
+        // fully resolvable, host-free, and invasion-free.
+        let host_group = group_of_node[0];
+        let mut pure_launch = HashMap::new();
+        for p in &b.purity {
+            if p.impure || b.silent_unresolved {
+                continue;
+            }
+            let g = group_of_node[p.target_node];
+            if g == host_group
+                || group_opaque[g as usize]
+                || group_touches_host[g as usize]
+                || invaded[g as usize]
+            {
+                continue;
+            }
+            let nodes_ok = p.node_constraints.iter().all(|&c| group_of_node[c] == g);
+            let mems_ok = p
+                .mem_constraints
+                .iter()
+                .all(|m| group_of_mem_op.get(m) == Some(&g));
+            if nodes_ok && mems_ok {
+                pure_launch.insert(p.op, g);
+            }
+        }
+
+        Partition {
+            groups,
+            group_of_node,
+            node_of_create_op: b.node_of_proc,
+            group_of_mem_op,
+            group_of_conn_op,
+            pure_launch,
+            degraded: b.unresolved,
+        }
+    }
+}
+
+/// Per-launch-site purity bookkeeping collected during the walk. The
+/// constraints are group-membership obligations checked after union-find.
+struct LaunchPurity {
+    /// The launch op index.
+    op: usize,
+    /// Resolved target node.
+    target_node: usize,
+    /// Definitely not offloadable (elaboration/host-memory/unresolvable
+    /// ops in the body).
+    impure: bool,
+    /// Nodes (nested launch targets, memcpy DMAs) that must share the
+    /// target's group.
+    node_constraints: Vec<usize>,
+    /// `create_mem` op indexes (linalg kernel operands) that must belong
+    /// to the target's group.
+    mem_constraints: Vec<usize>,
+}
+
+struct Builder<'m> {
+    module: &'m Module,
+    footprints: Vec<BTreeSet<Res>>,
+    opaque: Vec<bool>,
+    node_of_proc: HashMap<usize, usize>,
+    unresolved: bool,
+    purity: Vec<LaunchPurity>,
+    /// Indexes into `purity` for the launch sites enclosing the current
+    /// block — a constraint applies to every enclosing site.
+    stack: Vec<usize>,
+    /// `(create_mem op index, node)` pairs for ops that mutate a memory
+    /// *without* a `ConflictPass` footprint entry (linalg kernels and
+    /// deallocs). These are the only channels through which an actor
+    /// outside a group can reach the group's state at runtime, so a group
+    /// containing a memory used this way by a foreign node is never
+    /// offloadable (the speculative merge could not replay such a
+    /// cross-group interleaving exactly).
+    silent_mem_uses: Vec<(usize, usize)>,
+    /// A linalg/dealloc buffer operand failed to resolve: it could reach
+    /// any memory, so no group is offloadable.
+    silent_unresolved: bool,
+}
+
+impl<'m> Builder<'m> {
+    /// Bounds-checked op lookup (skips erased and out-of-range ids).
+    fn op_checked(&self, op: OpId) -> Option<&equeue_ir::Operation> {
+        if op.index() >= self.module.num_ops() {
+            return None;
+        }
+        let data = self.module.op(op);
+        (!data.erased).then_some(data)
+    }
+
+    /// Resolves a value to its ultimate defining op, looking through
+    /// `equeue.launch` body arguments to the captured value in the parent
+    /// scope (verbatim mirror of the analysis crate's `resolve_def`).
+    fn resolve_def(&self, value: ValueId) -> Option<OpId> {
+        let mut v = value;
+        for _ in 0..MAX_DEPTH {
+            if v.index() >= self.module.num_values() {
+                return None;
+            }
+            match self.module.value(v).def {
+                ValueDef::OpResult { op, .. } => {
+                    return self.op_checked(op).map(|_| op);
+                }
+                ValueDef::BlockArg { block, index } => {
+                    if block.index() >= self.module.num_blocks() {
+                        return None;
+                    }
+                    let region = self.module.block(block).parent_region;
+                    if region.index() >= self.module.num_regions() {
+                        return None;
+                    }
+                    let parent = self.module.region(region).parent_op?;
+                    let pdata = self.op_checked(parent)?;
+                    if pdata.name != "equeue.launch" {
+                        return None;
+                    }
+                    let lv = launch_view(self.module, parent).ok()?;
+                    v = *lv.captures.get(index)?;
+                }
+            }
+        }
+        None
+    }
+
+    /// Resolves a buffer-typed value to its allocation site's memory.
+    fn buffer_origin(&self, value: ValueId) -> BufOrigin {
+        let Some(def) = self.resolve_def(value) else {
+            return BufOrigin::Unknown;
+        };
+        let Some(data) = self.op_checked(def) else {
+            return BufOrigin::Unknown;
+        };
+        match data.name.as_str() {
+            "equeue.alloc" => {
+                let Some(&mem) = data.operands.first() else {
+                    return BufOrigin::Unknown;
+                };
+                match self.resolve_def(mem) {
+                    Some(m)
+                        if self
+                            .op_checked(m)
+                            .is_some_and(|d| d.name == "equeue.create_mem") =>
+                    {
+                        BufOrigin::Mem(m)
+                    }
+                    _ => BufOrigin::Unknown,
+                }
+            }
+            "memref.alloc" => BufOrigin::Host,
+            _ => BufOrigin::Unknown,
+        }
+    }
+
+    /// Records one buffer use by `node`, degrading to opaque on
+    /// unresolvable buffers.
+    fn touch_buffer(&mut self, node: usize, buffer: ValueId) {
+        match self.buffer_origin(buffer) {
+            BufOrigin::Mem(m) => {
+                self.footprints[node].insert(Res::Mem(m.index()));
+            }
+            BufOrigin::Host => {
+                self.footprints[node].insert(Res::HostMem);
+            }
+            BufOrigin::Unknown => self.opaque[node] = true,
+        }
+    }
+
+    fn touch_conn(&mut self, node: usize, conn: Option<ValueId>) {
+        let Some(c) = conn else { return };
+        match self.resolve_def(c) {
+            Some(def)
+                if self
+                    .op_checked(def)
+                    .is_some_and(|d| d.name == "equeue.create_connection") =>
+            {
+                self.footprints[node].insert(Res::Conn(def.index()));
+            }
+            _ => self.opaque[node] = true,
+        }
+    }
+
+    // ---- purity recording ------------------------------------------------
+
+    /// Marks every enclosing launch site impure.
+    fn mark_impure(&mut self) {
+        for &i in &self.stack {
+            self.purity[i].impure = true;
+        }
+    }
+
+    /// Requires `node` to share the group of every enclosing launch.
+    fn constrain_node(&mut self, node: usize) {
+        for &i in &self.stack {
+            self.purity[i].node_constraints.push(node);
+        }
+    }
+
+    /// Requires the memory created at `mem_op` to belong to the group of
+    /// every enclosing launch.
+    fn constrain_mem(&mut self, mem_op: usize) {
+        for &i in &self.stack {
+            self.purity[i].mem_constraints.push(mem_op);
+        }
+    }
+
+    /// Requires a buffer operand's backing memory to belong to the group
+    /// of every enclosing launch (linalg kernels mutate buffer state
+    /// without a `ConflictPass` footprint entry).
+    fn constrain_buffer(&mut self, buffer: ValueId) {
+        if self.stack.is_empty() {
+            return;
+        }
+        match self.buffer_origin(buffer) {
+            BufOrigin::Mem(m) => self.constrain_mem(m.index()),
+            BufOrigin::Host | BufOrigin::Unknown => self.mark_impure(),
+        }
+    }
+
+    /// Records a footprint-free memory mutation (linalg kernel operand or
+    /// dealloc) by `owner`, for the cross-group invasion check.
+    fn note_silent_use(&mut self, owner: usize, buffer: ValueId) {
+        match self.buffer_origin(buffer) {
+            BufOrigin::Mem(m) => self.silent_mem_uses.push((m.index(), owner)),
+            // Host memory: the host's group is never offloadable anyway.
+            BufOrigin::Host => {}
+            BufOrigin::Unknown => self.silent_unresolved = true,
+        }
+    }
+
+    /// Walks `block` attributing resource uses to `owner` exactly like
+    /// `ConflictPass`, while collecting the purity constraints of every
+    /// enclosing launch site.
+    fn visit_block(&mut self, block: BlockId, owner: usize, depth: usize) {
+        if depth > MAX_DEPTH || block.index() >= self.module.num_blocks() {
+            return;
+        }
+        let ops = self.module.block(block).ops.clone();
+        for op in ops {
+            let Some(data) = self.op_checked(op) else {
+                continue;
+            };
+            match data.name.as_str() {
+                "equeue.launch" => {
+                    let Ok(lv) = launch_view(self.module, op) else {
+                        self.unresolved = true;
+                        self.mark_impure();
+                        continue;
+                    };
+                    let target = self
+                        .resolve_def(lv.proc)
+                        .and_then(|d| self.node_of_proc.get(&d.index()).copied());
+                    match target {
+                        Some(node) => {
+                            self.constrain_node(node);
+                            let idx = self.purity.len();
+                            self.purity.push(LaunchPurity {
+                                op: op.index(),
+                                target_node: node,
+                                impure: false,
+                                node_constraints: Vec::new(),
+                                mem_constraints: Vec::new(),
+                            });
+                            self.stack.push(idx);
+                            self.visit_block(lv.body, node, depth + 1);
+                            self.stack.pop();
+                            // A nested launch's constraints also bind every
+                            // enclosing site: fold them outward.
+                            if !self.stack.is_empty() {
+                                let LaunchPurity {
+                                    impure,
+                                    node_constraints,
+                                    mem_constraints,
+                                    ..
+                                } = &self.purity[idx];
+                                let (imp, nc, mc) =
+                                    (*impure, node_constraints.clone(), mem_constraints.clone());
+                                if imp {
+                                    self.mark_impure();
+                                }
+                                for n in nc {
+                                    self.constrain_node(n);
+                                }
+                                for m in mc {
+                                    self.constrain_mem(m);
+                                }
+                            }
+                        }
+                        None => {
+                            self.unresolved = true;
+                            self.mark_impure();
+                            // Still walk the body (attributed to host) so
+                            // nested launches get their own attribution.
+                            self.visit_block(lv.body, 0, depth + 1);
+                        }
+                    }
+                }
+                "equeue.memcpy" => {
+                    if let Ok(mv) = memcpy_view(self.module, op) {
+                        let node = self
+                            .resolve_def(mv.dma)
+                            .and_then(|d| self.node_of_proc.get(&d.index()).copied());
+                        match node {
+                            Some(nd) => {
+                                self.constrain_node(nd);
+                                self.touch_buffer(nd, mv.src);
+                                self.touch_buffer(nd, mv.dst);
+                                self.touch_conn(nd, mv.conn);
+                            }
+                            None => {
+                                self.unresolved = true;
+                                self.mark_impure();
+                            }
+                        }
+                    } else {
+                        self.unresolved = true;
+                        self.mark_impure();
+                    }
+                }
+                "equeue.read" => {
+                    if let Ok(rv) = read_view(self.module, op) {
+                        self.touch_buffer(owner, rv.buffer);
+                        self.touch_conn(owner, rv.conn);
+                    } else {
+                        self.opaque[owner] = true;
+                    }
+                }
+                "equeue.write" => {
+                    if let Ok(wv) = write_view(self.module, op) {
+                        self.touch_buffer(owner, wv.buffer);
+                        self.touch_conn(owner, wv.conn);
+                    } else {
+                        self.opaque[owner] = true;
+                    }
+                }
+                "affine.load" => {
+                    if let Some(&buf) = data.operands.first() {
+                        self.touch_buffer(owner, buf);
+                    }
+                }
+                "affine.store" => {
+                    if let Some(&buf) = data.operands.get(1) {
+                        self.touch_buffer(owner, buf);
+                    }
+                }
+                "equeue.dealloc" | "memref.dealloc" => {
+                    // Dealloc inside a shard would permute buffer-id reuse;
+                    // dealloc of a group's buffer from *outside* the group
+                    // is a footprint-free mutation the merge cannot replay.
+                    let buf = data.operands.first().copied();
+                    self.mark_impure();
+                    match buf {
+                        Some(b) => self.note_silent_use(owner, b),
+                        None => self.silent_unresolved = true,
+                    }
+                }
+                // ---- purity-only cases (no ConflictPass footprint) ----
+                "equeue.alloc"
+                | "memref.alloc"
+                | "equeue.create_proc"
+                | "equeue.create_mem"
+                | "equeue.create_dma"
+                | "equeue.create_comp"
+                | "equeue.add_comp"
+                | "equeue.get_comp"
+                | "equeue.create_connection" => {
+                    // Allocation, deallocation, and machine elaboration
+                    // inside a shard would permute the global buffer- and
+                    // component-id assignment order relative to the
+                    // sequential interleaving (ids are observable in the
+                    // report's buffer dump): not offloadable.
+                    self.mark_impure();
+                }
+                "linalg.matmul" | "linalg.conv2d" => {
+                    let bufs: Vec<Option<ValueId>> =
+                        (0..3).map(|i| data.operands.get(i).copied()).collect();
+                    for buf in bufs {
+                        match buf {
+                            Some(b) => {
+                                self.constrain_buffer(b);
+                                self.note_silent_use(owner, b);
+                            }
+                            None => {
+                                self.mark_impure();
+                                self.silent_unresolved = true;
+                            }
+                        }
+                    }
+                }
+                "linalg.fill" => {
+                    let buf = data.operands.get(1).copied();
+                    match buf {
+                        Some(b) => {
+                            self.constrain_buffer(b);
+                            self.note_silent_use(owner, b);
+                        }
+                        None => {
+                            self.mark_impure();
+                            self.silent_unresolved = true;
+                        }
+                    }
+                }
+                _ => {
+                    // Descend into non-launch regions (loops) with the same
+                    // owner.
+                    let regions = data.regions.clone();
+                    for region in regions {
+                        if region.index() >= self.module.num_regions() {
+                            continue;
+                        }
+                        let blocks = self.module.region(region).blocks.clone();
+                        for b in blocks {
+                            self.visit_block(b, owner, depth + 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Plan;
+    use crate::library::SimLibrary;
+    use equeue_dialect::{kinds, AffineBuilder, ArithBuilder, EqueueBuilder};
+    use equeue_ir::{Module, OpBuilder, Type};
+
+    /// Two processors with private SRAMs running disjoint launch trees.
+    fn two_tree_module() -> Module {
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let start = b.control_start();
+        let mut dones = vec![];
+        for _ in 0..2 {
+            let pe = b.create_proc(kinds::ARM_R5);
+            let mem = b.create_mem(kinds::SRAM, &[64], 32, 4);
+            let buf = b.alloc(mem, &[64], Type::I32);
+            let l = b.launch(start, pe, &[buf], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                let (_, bi, i) = ib.affine_for(0, 8, 1);
+                {
+                    let mut kb = OpBuilder::at_end(ib.module_mut(), bi);
+                    let v = kb.affine_load(l.body_args[0], vec![i]);
+                    let w = kb.addi(v, v);
+                    kb.affine_store(w, l.body_args[0], vec![i]);
+                    kb.affine_yield();
+                }
+                let mut ib = OpBuilder::at_end(&mut m, l.body);
+                ib.ret(vec![]);
+            }
+            dones.push(l.done);
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        b.await_all(dones);
+        m
+    }
+
+    #[test]
+    fn independent_trees_are_separate_groups_and_pure() {
+        let m = two_tree_module();
+        let plan = Plan::build(&m, &SimLibrary::standard());
+        let p = &plan.partition;
+        // host + two singleton proc groups.
+        assert_eq!(p.groups().len(), 3);
+        assert_eq!(p.num_nodes(), 3);
+        assert!(!p.degraded());
+        // Both launch sites offloadable, each to its own (non-host) group.
+        assert_eq!(p.pure_launch_count(), 2);
+    }
+
+    #[test]
+    fn shared_memory_merges_groups() {
+        // Same shape, but both trees store into one shared SRAM.
+        let mut m = Module::new();
+        let blk = m.top_block();
+        let mut b = OpBuilder::at_end(&mut m, blk);
+        let start = b.control_start();
+        let mem = b.create_mem(kinds::SRAM, &[128], 32, 4);
+        let buf = b.alloc(mem, &[64], Type::I32);
+        let mut dones = vec![];
+        for _ in 0..2 {
+            let pe = b.create_proc(kinds::ARM_R5);
+            let l = b.launch(start, pe, &[buf], vec![]);
+            {
+                let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+                let (_, bi, i) = ib.affine_for(0, 8, 1);
+                {
+                    let mut kb = OpBuilder::at_end(ib.module_mut(), bi);
+                    let v = kb.affine_load(l.body_args[0], vec![i]);
+                    kb.affine_store(v, l.body_args[0], vec![i]);
+                    kb.affine_yield();
+                }
+                let mut ib = OpBuilder::at_end(&mut m, l.body);
+                ib.ret(vec![]);
+            }
+            dones.push(l.done);
+            b = OpBuilder::at_end(&mut m, blk);
+        }
+        b.await_all(dones);
+
+        let plan = Plan::build(&m, &SimLibrary::standard());
+        let p = &plan.partition;
+        // host alone, both procs fused by the shared SRAM.
+        assert_eq!(p.groups().len(), 2);
+        // Still pure: each tree stays inside the (shared) non-host group.
+        assert_eq!(p.pure_launch_count(), 2);
+    }
+}

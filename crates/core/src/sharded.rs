@@ -1,0 +1,285 @@
+//! Shard-exchange primitives for the group-sharded parallel engine.
+//!
+//! When [`SimOptions::threads`](crate::SimOptions) exceeds 1, the engine
+//! may *offload* a shard-pure launch (see [`crate::Partition`]) to a worker
+//! thread: the worker runs a clone of the engine state restricted to the
+//! launch target's conflict group, runs it to drain, and sends the group's
+//! final state back over a channel. The coordinator merges that state back
+//! the first time the sequential path would have observed the launch's
+//! completion — or discards it and replays sequentially whenever the
+//! speculation window is ambiguous. This module holds the plain data types
+//! exchanged between coordinator and workers plus the signal-id suffix
+//! remap the merge applies; the engine-side gates, hooks, and merge logic
+//! live in `engine.rs`.
+//!
+//! Exactness contract: a merge must leave every reported counter (cycles,
+//! events, ops, buffer contents, traffic) bit-identical to the sequential
+//! interleaving. Shards therefore never allocate buffers or elaborate the
+//! machine (purity excludes those ops), so the only id space a shard grows
+//! is the signal table — and signal ids are unobservable in reports, so
+//! the merge may append the shard's new signals as a suffix and remap.
+
+use std::sync::mpsc::Receiver;
+
+use crate::engine::ProcRuntime;
+use crate::error::SimError;
+use crate::machine::Machine;
+use crate::signal::{SignalState, SignalTable};
+use crate::value::{SignalId, SimValue};
+
+/// Everything a finished shard sends back to the coordinator.
+pub(crate) struct ShardOut {
+    /// The shard's machine (only the offloaded group's components,
+    /// buffers, and connections are copied back).
+    pub(crate) machine: Machine,
+    /// The shard's signal table; signals at index `sig_base..` are new.
+    pub(crate) signals: SignalTable,
+    /// The shard's processor runtimes (only the group's are copied back).
+    pub(crate) procs: Vec<ProcRuntime>,
+    /// Coordinator signal-table length at offload time: the split between
+    /// shared prefix and shard-created suffix.
+    pub(crate) sig_base: usize,
+    /// Resolve time of the root launch's done signal.
+    pub(crate) rt: u64,
+    /// Engine time at which the done signal resolved — the global-order
+    /// position of the resolution, which bounds when an observer may
+    /// already see it (`rt` only bounds the timestamp it carries).
+    pub(crate) rp: u64,
+    /// `ctx_born` of the resolving context: the time at which the wake
+    /// *processing* the resolution was scheduled. `(rp, rb)` orders the
+    /// resolution against a coordinator entry `(t, born)` even when the
+    /// times tie — the earlier-scheduled wake pops first.
+    pub(crate) rb: u64,
+    /// The shard's final `now` (its last heap pop): after this time every
+    /// shard-side event has happened in the sequential interleaving too.
+    pub(crate) t_fin: u64,
+    /// The done signal's payload (`equeue.return` values), un-remapped.
+    pub(crate) payload: Vec<SimValue>,
+    /// Counter deltas, folded into the coordinator at merge time.
+    pub(crate) wakes: u64,
+    pub(crate) ops_interpreted: u64,
+    pub(crate) events_spawned: u64,
+    pub(crate) idle_steps: u64,
+    pub(crate) fused_trace_entries: u64,
+    pub(crate) horizon: u64,
+}
+
+/// A shard still running on a worker thread.
+pub(crate) struct InFlight {
+    /// Conflict group the shard owns.
+    pub(crate) group: u32,
+    /// The root launch's done signal (the merge trigger).
+    pub(crate) done: SignalId,
+    /// The consumed heap entry `(time, seq, proc, born)` that rooted the
+    /// shard — re-pushed verbatim to replay sequentially on abort.
+    pub(crate) entry: (u64, u64, usize, u64),
+    /// Completion channel from the worker.
+    pub(crate) rx: Receiver<Result<ShardOut, SimError>>,
+}
+
+/// A joined shard whose resolution the sequential path has not yet
+/// reached: applied once the pop order passes its `(rp, rb)` resolution
+/// point (or aborted if the merge window is ambiguous).
+pub(crate) struct Stashed {
+    pub(crate) group: u32,
+    pub(crate) done: SignalId,
+    pub(crate) entry: (u64, u64, usize, u64),
+    pub(crate) out: ShardOut,
+}
+
+/// Coordinator-side bookkeeping for the parallel runtime.
+pub(crate) struct ParState {
+    /// Worker budget: `in_flight` may hold at most `threads - 1` shards
+    /// (the coordinator itself counts as one thread).
+    pub(crate) threads: usize,
+    pub(crate) in_flight: Vec<InFlight>,
+    pub(crate) stashed: Vec<Stashed>,
+    /// `(time, seq)` of heap entries whose speculation was aborted: the
+    /// replayed pop must run sequentially, or an abort whose cause was the
+    /// merge window itself would re-offload and spin forever.
+    pub(crate) denied: std::collections::HashSet<(u64, u64)>,
+}
+
+impl ParState {
+    pub(crate) fn new(threads: usize) -> Self {
+        ParState {
+            threads,
+            in_flight: Vec::new(),
+            stashed: Vec::new(),
+            denied: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Whether `group` has a shard in flight or stashed (at most one shard
+    /// per group may speculate at a time).
+    pub(crate) fn group_active(&self, group: u32) -> bool {
+        self.in_flight.iter().any(|f| f.group == group)
+            || self.stashed.iter().any(|s| s.group == group)
+    }
+
+    /// Whether a worker slot is free.
+    pub(crate) fn has_slot(&self) -> bool {
+        self.in_flight.len() + 1 < self.threads
+    }
+}
+
+/// Remaps a shard-created signal id (`>= sig_base`) into the coordinator's
+/// suffix position. Prefix ids are shared and pass through unchanged.
+#[inline]
+fn remap_id(s: &mut SignalId, sig_base: usize, delta: u32) {
+    if (s.0 as usize) >= sig_base {
+        s.0 += delta;
+    }
+}
+
+/// Remaps every signal reference inside a payload value.
+pub(crate) fn remap_value(v: &mut SimValue, sig_base: usize, delta: u32) {
+    match v {
+        SimValue::Signal(s) => remap_id(s, sig_base, delta),
+        SimValue::Deferred { signal, .. } => remap_id(signal, sig_base, delta),
+        _ => {}
+    }
+}
+
+/// Appends a shard's new signals (`sig_base..`) onto the coordinator's
+/// table, remapping suffix-internal references (combinator dependents and
+/// payload values) by the offset between the shard's and the coordinator's
+/// suffix start. Returns that offset.
+///
+/// Prefix states are *not* copied back: the offload gates guarantee every
+/// prefix signal a shard can reach is already resolved (and resolution is
+/// first-wins, immutable), except the root done — which the caller
+/// resolves explicitly with the remapped payload.
+pub(crate) fn append_signal_suffix(
+    coord: &mut SignalTable,
+    shard: SignalTable,
+    sig_base: usize,
+) -> u32 {
+    let delta = (coord.len() - sig_base) as u32;
+    let mut states = shard.into_states();
+    for mut state in states.drain(sig_base.min(states.len())..) {
+        match &mut state {
+            SignalState::Pending { dependents, .. } => {
+                for d in dependents {
+                    remap_id(d, sig_base, delta);
+                }
+            }
+            SignalState::Resolved { payload, .. } => {
+                for v in payload {
+                    remap_value(v, sig_base, delta);
+                }
+            }
+        }
+        coord.push_state(state);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(i: u32) -> SignalId {
+        SignalId(i)
+    }
+
+    #[test]
+    fn remap_leaves_prefix_ids_alone() {
+        let mut v = SimValue::Signal(sig(3));
+        remap_value(&mut v, 5, 10);
+        assert_eq!(v, SimValue::Signal(sig(3)));
+        let mut v = SimValue::Deferred {
+            signal: sig(7),
+            index: 1,
+        };
+        remap_value(&mut v, 5, 10);
+        assert_eq!(
+            v,
+            SimValue::Deferred {
+                signal: sig(17),
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn suffix_append_remaps_dependents_and_payloads() {
+        // Coordinator: 3 shared signals plus 2 of its own created since
+        // the offload (so the shard's suffix lands at offset 5, delta 2).
+        let mut coord = SignalTable::new();
+        for _ in 0..3 {
+            coord.fresh();
+        }
+        let sig_base = coord.len();
+        let mut shard = coord.clone();
+        coord.fresh();
+        coord.fresh();
+
+        // Shard creates: signal 3 (pending, dependent on nothing),
+        // signal 4 = resolved carrying a reference to signal 3.
+        let a = shard.fresh();
+        assert_eq!(a, sig(3));
+        let b = shard.fresh();
+        shard.resolve(b, 9, vec![SimValue::Signal(a), SimValue::Int(1)]);
+
+        let delta = append_signal_suffix(&mut coord, shard, sig_base);
+        assert_eq!(delta, 2);
+        assert_eq!(coord.len(), 7);
+        // Shard signal 3 became coordinator signal 5; 4 became 6.
+        assert!(!coord.is_resolved(sig(5)));
+        assert_eq!(coord.resolve_time(sig(6)), Some(9));
+        assert_eq!(
+            coord.payload(sig(6)),
+            &[SimValue::Signal(sig(5)), SimValue::Int(1)]
+        );
+    }
+
+    #[test]
+    fn suffix_combinator_dependents_survive_remap() {
+        let mut coord = SignalTable::new();
+        coord.fresh();
+        let sig_base = coord.len();
+        let mut shard = coord.clone();
+
+        // Shard: two fresh signals and an AND over them, one resolved.
+        let a = shard.fresh();
+        let b = shard.fresh();
+        let _both = shard.new_and(&[a, b]);
+        shard.resolve(a, 4, vec![]);
+
+        // Coordinator allocated one signal of its own meanwhile.
+        coord.fresh();
+        append_signal_suffix(&mut coord, shard, sig_base);
+        // a->2, b->3, both->4; resolving b must cascade into `both`.
+        assert_eq!(coord.resolve_time(sig(2)), Some(4));
+        coord.resolve(sig(3), 11, vec![]);
+        assert_eq!(coord.resolve_time(sig(4)), Some(11));
+    }
+
+    /// The exchange pattern the engine uses: scoped worker thread, owned
+    /// state moved back over mpsc (the miri target for the shard-exchange
+    /// primitives).
+    #[test]
+    fn scoped_channel_exchange_returns_owned_state() {
+        let (tx, rx) = std::sync::mpsc::channel::<Result<SignalTable, SimError>>();
+        let mut base = SignalTable::new();
+        let root = base.fresh();
+        std::thread::scope(|scope| {
+            let mut shard = base.clone();
+            scope.spawn(move || {
+                let inner = shard.fresh();
+                shard.resolve(inner, 3, vec![]);
+                shard.resolve(root, 7, vec![SimValue::Int(42)]);
+                let _ = tx.send(Ok(shard));
+            });
+        });
+        let out = match rx.recv() {
+            Ok(Ok(t)) => t,
+            _ => panic!("worker did not deliver"),
+        };
+        assert_eq!(out.resolve_time(root), Some(7));
+        assert_eq!(out.payload(root), &[SimValue::Int(42)]);
+        // The coordinator's copy is untouched.
+        assert!(!base.is_resolved(root));
+    }
+}

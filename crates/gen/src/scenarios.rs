@@ -240,6 +240,44 @@ pub fn mega_grid(rows: usize, cols: usize, iters: usize) -> Module {
     m
 }
 
+/// A `rows×cols` grid of processors where each PE owns a *private*
+/// register memory: every PE+memory pair forms its own conflict group, so
+/// all `rows*cols` launches are shard-pure and independently offloadable
+/// — the canonical multi-group workload for the group-sharded parallel
+/// engine (`SimOptions::threads > 1`). Contrast with [`mega_grid`], whose
+/// single shared memory merges the whole grid into one group.
+pub fn shard_grid(rows: usize, cols: usize, iters: usize) -> Module {
+    let mut m = Module::new();
+    let blk = m.top_block();
+    let mut b = OpBuilder::at_end(&mut m, blk);
+    let start = b.control_start();
+    let mut dones = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        let pe = b.create_proc(kinds::MAC);
+        let mem = b.create_mem(kinds::REGISTER, &[iters], 32, 1);
+        let buf = b.alloc(mem, &[iters], Type::I32);
+        let l = b.launch(start, pe, &[buf], vec![]);
+        {
+            let v = l.body_args[0];
+            let mut ib = OpBuilder::at_end(b.module_mut(), l.body);
+            let (_, bi, i) = ib.affine_for(0, iters as i64, 1);
+            {
+                let mut lb = OpBuilder::at_end(ib.module_mut(), bi);
+                let x = lb.affine_load(v, vec![i]);
+                let y = lb.addi(x, x);
+                lb.affine_store(y, v, vec![i]);
+                lb.affine_yield();
+            }
+            let mut ib = OpBuilder::at_end(&mut m, l.body);
+            ib.ret(vec![]);
+        }
+        dones.push(l.done);
+        b = OpBuilder::at_end(&mut m, blk);
+    }
+    b.await_all(dones);
+    m
+}
+
 /// One named golden scenario.
 pub struct GoldenScenario {
     /// Stable scenario name (`"fig09_4x4_ws_8x8"`). Sorted-unique across
@@ -345,6 +383,12 @@ pub fn golden_scenarios() -> Vec<GoldenScenario> {
     out.push(GoldenScenario {
         name: "mega_grid_8x8",
         module: mega_grid(8, 8, 4),
+    });
+    // Multi-group shard target: per-PE private memories, so the parallel
+    // engine's offload path actually engages on this one.
+    out.push(GoldenScenario {
+        name: "shard_grid_4x4",
+        module: shard_grid(4, 4, 4),
     });
     out
 }
